@@ -1,0 +1,87 @@
+"""§4.2: the six case studies (plus the chart intro example).
+
+For each workload: run the unoptimized variant and the variant with
+the paper's fix applied, check identical program output, and measure
+the reduction in executed instructions / wall-clock / allocations.
+
+Shape assertions:
+
+* every fix is semantics-preserving (outputs match);
+* every reduction falls inside the paper-guided band recorded on the
+  workload spec;
+* the *ordering* of wins matches the paper: the bloat analogue leads
+  (paper: 37%), the well-tuned server analogues (tomcat, trade) trail
+  (paper: ~2-2.5%);
+* the profiler's report on the unoptimized run names the culprit: at
+  least one of the top-ranked sites lives in the code the fix
+  rewrites.
+"""
+
+from conftest import emit
+
+from repro.metrics import format_case_studies, run_all_case_studies
+
+#: For each workload, substrings of methods that the optimized variant
+#: rewrites or deletes — the tool's top report entries should point
+#: into this code.
+CULPRIT_HINTS = {
+    "antlr_like": ("Token", "Lexer", "StrBuilder"),
+    "xalan_like": ("DateFormatter", "Transformer", "StrBuilder"),
+    "pmd_like": ("RuleContext", "Attrs", "Checker"),
+    "lusearch_like": ("Validator", "Searcher", "Query"),
+    "luindex_like": ("Posting", "Normalizer", "StrBuilder",
+                     "Indexer"),
+    "bloat_like": ("NodeComparator", "StrBuilder", "describe",
+                   "Main.main"),
+    "chart_like": ("Point", "PointList", "Main.main"),
+    "derby_like": ("StrIntMap", "FileContainer", "updateHeader"),
+    "eclipse_like": ("TreeIterator", "Visitor", "directoryList",
+                     "StrList", "HashtableOfArray", "ArrKey"),
+    "sunflow_like": ("Matrix.copy", "Matrix.transpose", "Matrix.scale",
+                     "Matrix.<init>", "Codec", "Main.main"),
+    "tomcat_like": ("Mapper.addContext", "Mapper.removeContext",
+                    "Prop", "Main.main"),
+    "trade_like": ("KeyBlock", "KeyIterator", "Soap", "StrBuilder",
+                   "Holding"),
+}
+
+
+def test_case_studies(benchmark, results_dir, suite_scale):
+    results = benchmark.pedantic(
+        lambda: run_all_case_studies(scale=suite_scale),
+        rounds=1, iterations=1)
+
+    by_name = {result.name: result for result in results}
+
+    for result in results:
+        assert result.outputs_match, result.name
+        assert result.instruction_reduction > 0, result.name
+        if suite_scale is None:
+            # Bands are calibrated for the default loads only.
+            assert result.in_expected_band, (
+                result.name, result.instruction_reduction,
+                result.expected_band)
+        # The tool's report points into the code the fix rewrites.
+        hints = CULPRIT_HINTS[result.name]
+        top = result.top_sites[:6]
+        assert any(hint in site.method or hint in site.what
+                   for site in top for hint in hints), (
+            result.name, [(s.what, s.method) for s in top])
+
+    if suite_scale is None:
+        # Paper ordering among the SIX case studies: bloat's win
+        # dominates; the tuned server workloads trail everything else.
+        # (The extra Table-1 rows — antlr/luindex/xalan/chart — are
+        # not part of the paper's §4.2 ordering claim.)
+        six = ("bloat_like", "eclipse_like", "sunflow_like",
+               "derby_like", "tomcat_like", "trade_like")
+        reductions = {name: by_name[name].instruction_reduction
+                      for name in six}
+        assert reductions["bloat_like"] == max(reductions.values())
+        for tuned in ("tomcat_like", "trade_like"):
+            for bigger in ("bloat_like", "eclipse_like",
+                           "sunflow_like", "derby_like"):
+                assert reductions[tuned] < reductions[bigger], (
+                    tuned, bigger)
+
+    emit(results_dir, "case_studies", format_case_studies(results))

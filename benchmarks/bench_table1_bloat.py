@@ -1,0 +1,70 @@
+"""Table 1(c): ultimately-dead-value measurement (IPD / IPP / NLD).
+
+Regenerates I, IPD%, IPP%, NLD% per workload at s = 16.
+
+Shape assertions mirroring the paper's reading of its own table:
+
+* "Programs such as bloat, eclipse and sunflow have large IPDs ...
+  these three programs are the ones for which we have achieved the
+  largest performance improvement after removing bloat" — here the
+  workloads with the largest case-study reductions (bloat_like,
+  chart_like) carry the largest IPD;
+* a significant portion of instruction instances only produce control
+  flow (IPP > 0 everywhere);
+* NLD is substantial ("on average 25.5% of nodes"), making the report
+  useful to read.
+"""
+
+from conftest import emit
+
+from repro.analyses import measure_bloat
+from repro.profiler import CostTracker
+from repro.vm import VM
+from repro.workloads import all_workloads
+
+
+def _collect(scale):
+    results = {}
+    for spec in all_workloads():
+        program = spec.build("unopt", scale)
+        tracker = CostTracker(slots=16)
+        vm = VM(program, tracer=tracker)
+        vm.run()
+        results[spec.name] = measure_bloat(tracker.graph,
+                                           vm.instr_count)
+    return results
+
+
+def test_table1c_dead_value_measurement(benchmark, results_dir,
+                                        suite_scale):
+    results = benchmark.pedantic(lambda: _collect(suite_scale),
+                                 rounds=1, iterations=1)
+
+    lines = ["program         I           IPD%    IPP%    NLD%",
+             "-" * 52]
+    for name, metrics in results.items():
+        lines.append(f"{name:<15}{metrics.total_instructions:<12}"
+                     f"{metrics.ipd * 100:<8.1f}"
+                     f"{metrics.ipp * 100:<8.1f}"
+                     f"{metrics.nld * 100:<8.1f}")
+        assert 0.0 <= metrics.ipd <= 1.0
+        assert 0.0 <= metrics.ipp <= 1.0
+        assert metrics.ipd + metrics.ipp <= 1.0 + 1e-9
+        # Consumers exist in every workload, so some values survive.
+        assert metrics.ipd < 0.95
+        # Every workload makes control-flow decisions.
+        assert metrics.ipp > 0.0
+        assert metrics.nld > 0.0
+
+    # The bloat-heaviest workloads (biggest case-study wins) show the
+    # largest dead-value fractions, as in the paper.
+    ipd = {name: m.ipd for name, m in results.items()}
+    heavy = max(ipd["bloat_like"], ipd["chart_like"])
+    for tuned in ("tomcat_like", "trade_like", "derby_like"):
+        assert heavy > ipd[tuned], (heavy, tuned, ipd[tuned])
+
+    average_nld = sum(m.nld for m in results.values()) / len(results)
+    lines.append("")
+    lines.append(f"average NLD: {average_nld * 100:.1f}% "
+                 "(paper: 25.5%)")
+    emit(results_dir, "table1c_bloat", "\n".join(lines))

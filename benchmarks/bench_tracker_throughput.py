@@ -1,0 +1,53 @@
+"""Micro-benchmarks: VM and tracker throughput.
+
+Not a paper table — these are the engineering numbers behind the
+Table-1 overhead column, measured with pytest-benchmark's statistics
+on a fixed mid-size workload: plain interpretation, cost tracking at
+s = 8 and s = 16, and the generic concrete (unabstracted) slicer that
+the bounded domains exist to avoid.
+"""
+
+import pytest
+
+from repro.analyses import ConcreteThinSlicer
+from repro.profiler import CostTracker
+from repro.vm import VM
+from repro.workloads import get_workload
+
+SCALE = {"W": 24, "H": 12, "SHADE": 4}
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("sunflow_like").build("unopt", SCALE)
+
+
+def test_vm_untraced(benchmark, program):
+    vm = benchmark(lambda: VM(program).run())
+    assert vm.finished
+
+
+def test_vm_cost_tracked_s8(benchmark, program):
+    vm = benchmark(lambda: VM(program,
+                              tracer=CostTracker(slots=8)).run())
+    assert vm.finished
+
+
+def test_vm_cost_tracked_s16(benchmark, program):
+    vm = benchmark(lambda: VM(program,
+                              tracer=CostTracker(slots=16)).run())
+    assert vm.finished
+
+
+def test_vm_concrete_slicer(benchmark, program):
+    """The unabstracted graph: node count grows with the trace."""
+    def run():
+        tracker = ConcreteThinSlicer(max_nodes=5_000_000)
+        VM(program, tracer=tracker).run()
+        return tracker
+
+    tracker = benchmark.pedantic(run, rounds=1, iterations=1)
+    abstract = CostTracker(slots=16)
+    VM(program, tracer=abstract).run()
+    # The bounded abstract domain is what keeps the graph small.
+    assert tracker.graph.num_nodes > 50 * abstract.graph.num_nodes

@@ -1,0 +1,48 @@
+"""Shared benchmark plumbing.
+
+Set ``REPRO_BENCH_SCALE=small`` to run the whole harness at reduced
+workload scales (useful for smoke runs); the default regenerates the
+tables at the suite's standard loads.
+
+Every bench writes its human-readable table into
+``benchmarks/results/<name>.txt`` (and prints it), so the regenerated
+tables survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale():
+    """None for default scale, or the merged small-scale override."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "small":
+        from repro.workloads import all_workloads
+        merged = {}
+        for spec in all_workloads():
+            merged.update(spec.small_scale)
+        return merged
+    return None
+
+
+@pytest.fixture(scope="session")
+def suite_scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str):
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cache effectiveness (§3.2's alternative cost-benefit definition).
+
+Two structures with identical write/read code shape but opposite cache
+behaviour:
+
+* ``GoodCache`` memoizes an expensive computation and is hit far more
+  often than it is populated — the eclipse case study's hash-code
+  cache;
+* ``BadCache`` is "cached" but recomputed and rewritten on every
+  access, so it saves nothing — an inappropriately-used cache.
+
+The computation-centric RAC/RAB metric treats both as ordinary stores;
+the cache metric separates them.
+"""
+
+from repro import compile_source
+from repro.analyses import analyze_caches, format_cache_report
+from repro.profiler import CostTracker
+from repro.vm import VM
+
+SOURCE = """
+class GoodCache {
+    int[] values;
+    bool[] filled;
+    GoodCache(int n) {
+        values = new int[n];
+        filled = new bool[n];
+    }
+    int get(int key) {
+        if (filled[key]) { return values[key]; }
+        int h = key;
+        for (int i = 0; i < 80; i++) { h = (h * 31 + i) % 65521; }
+        values[key] = h;
+        filled[key] = true;
+        return h;
+    }
+}
+
+class BadCache {
+    int value;
+    int get(int key) {
+        int h = key;
+        for (int i = 0; i < 80; i++) { h = (h * 31 + i) % 65521; }
+        value = h;           // rewritten on every call: no reuse
+        return value;
+    }
+}
+
+class Main {
+    static void main() {
+        GoodCache good = new GoodCache(4);
+        BadCache bad = new BadCache();
+        int acc = 0;
+        for (int i = 0; i < 100; i++) {
+            acc = (acc + good.get(i % 4) + bad.get(i % 4)) % 1000003;
+        }
+        Sys.printInt(acc);
+    }
+}
+"""
+
+
+def main():
+    program = compile_source(SOURCE)
+    tracker = CostTracker(slots=16)
+    vm = VM(program, tracer=tracker)
+    vm.run()
+
+    print("program output:", vm.stdout())
+    print()
+    reports = analyze_caches(tracker.graph)
+    print(format_cache_report(reports, program=program))
+    print()
+    effective = [r for r in reports if r.is_effective]
+    wasted = [r for r in reports if not r.is_effective]
+    print(f"{len(effective)} effective cache(s); "
+          f"{len(wasted)} structure(s) paying cache plumbing "
+          "without reuse")
+
+
+if __name__ == "__main__":
+    main()

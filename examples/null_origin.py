@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Figure 2(a): null-propagation debugging.
+
+A null value is created deep inside a helper, flows through fields and
+calls, and finally explodes at a dereference.  The null-propagation
+client (abstract thin slicing over D = {null, not-null}) recovers both
+the origin and the propagation path — more than origin-only trackers
+report.
+"""
+
+from repro import compile_source
+from repro.analyses import NullTracker, explain_null_failure
+from repro.vm import VM, VMNullError
+
+SOURCE = """
+class Config {
+    string name;
+    Config(string name) { this.name = name; }
+}
+
+class Registry {
+    Config[] configs;
+    int size;
+    Registry() { configs = new Config[8]; size = 0; }
+    void add(Config c) { configs[size] = c; size = size + 1; }
+    Config find(int wanted) {
+        for (int i = 0; i < size; i++) {
+            if (i == wanted) { return configs[i]; }
+        }
+        return null;   // <-- the null is born here
+    }
+}
+
+class Main {
+    static void main() {
+        Registry registry = new Registry();
+        registry.add(new Config("alpha"));
+        registry.add(new Config("beta"));
+        Config found = registry.find(7);      // not present -> null
+        Config current = found;               // copies propagate it
+        Sys.println(current.name);            // boom
+    }
+}
+"""
+
+
+def main():
+    program = compile_source(SOURCE)
+    tracker = NullTracker()
+    vm = VM(program, tracer=tracker)
+    try:
+        vm.run()
+        print("program unexpectedly succeeded")
+        return
+    except VMNullError as error:
+        print(f"NullPointerException analogue: {error}")
+        print(f"  at {error.where}")
+        origin = explain_null_failure(tracker, error, program)
+        if origin is None:
+            print("  (could not attribute the null)")
+            return
+        print()
+        print(origin.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Collection ranking by cost-benefit rate (§3.2).
+
+Ranks container allocation sites (List/Map/Set-like classes) by their
+n-RAC / n-RAB rate: containers holding many expensively produced
+elements that are rarely retrieved surface first — the paper's
+memory-leak and over-population symptoms, and the chart benchmark's
+"thousands of structures added only for list sizes" pattern.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from .costbenefit import analyze_cost_benefit
+
+#: Default name fragments identifying container classes.
+DEFAULT_CONTAINER_HINTS = ("List", "Map", "Set", "Table", "Queue",
+                           "Stack", "Buffer", "Builder")
+
+
+def rank_collections(graph, program, hints=DEFAULT_CONTAINER_HINTS,
+                     top=None, **kwargs):
+    """Cost-benefit reports filtered to container allocation sites."""
+    container_sites = set()
+    for iid, instr in program.alloc_sites.items():
+        if instr.op != ins.OP_NEW_OBJECT:
+            continue
+        if any(hint in instr.class_name for hint in hints):
+            container_sites.add(iid)
+    reports = [r for r in analyze_cost_benefit(graph, program, **kwargs)
+               if r.iid in container_sites]
+    if top is not None:
+        reports = reports[:top]
+    return reports

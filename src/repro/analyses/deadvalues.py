@@ -1,0 +1,177 @@
+"""Ultimately-dead value measurement — Table 1(c): IPD, IPP, NLD.
+
+Definitions (from §4.1):
+
+* D — non-consumer nodes with no outgoing def-use edges (their values
+  are never used by any other instruction).
+* D* — nodes that can lead *only* to nodes in D; equivalently, nodes
+  from which no consumer (predicate or native) node is reachable.
+* P* — nodes whose reachable consumers are predicates only (the value's
+  sole fate is steering control flow — never program output).
+
+IPD = Σ freq(D*) / I, IPP = Σ freq(P*) / I where I is the total number
+of executed instruction instances; NLD = |D*| / |V|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiler.graph import F_CONSUMER, F_NATIVE, F_PREDICATE, \
+    DependenceGraph
+
+
+@dataclass
+class BloatMetrics:
+    total_instructions: int      # I
+    dead_frequency: int          # Σ freq over D*
+    predicate_frequency: int     # Σ freq over P*
+    dead_nodes: int              # |D*|
+    graph_nodes: int             # |V|
+    dead_sinks: int              # |D|
+
+    @property
+    def ipd(self) -> float:
+        """Fraction of instruction instances producing only dead values."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.dead_frequency / self.total_instructions
+
+    @property
+    def ipp(self) -> float:
+        """Fraction producing values that end up only in predicates."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.predicate_frequency / self.total_instructions
+
+    @property
+    def nld(self) -> float:
+        """Fraction of graph nodes producing only dead values."""
+        if self.graph_nodes == 0:
+            return 0.0
+        return self.dead_nodes / self.graph_nodes
+
+
+def _consumer_reachability(graph: DependenceGraph):
+    """For every node: (reaches a native?, reaches a predicate?).
+
+    Backward fixpoint over the def-use edges (handles cycles): a node
+    reaches a consumer kind if it is one or any successor reaches one.
+    """
+    n = graph.num_nodes
+    reach_native = bytearray(n)
+    reach_pred = bytearray(n)
+    flags = graph.flags
+    preds = graph.preds
+
+    worklist = []
+    for node_id in range(n):
+        f = flags[node_id]
+        if f & F_NATIVE:
+            reach_native[node_id] = 1
+            worklist.append(node_id)
+        if f & F_PREDICATE:
+            reach_pred[node_id] = 1
+            worklist.append(node_id)
+    while worklist:
+        node_id = worklist.pop()
+        native = reach_native[node_id]
+        pred = reach_pred[node_id]
+        for p in preds[node_id]:
+            changed = False
+            if native and not reach_native[p]:
+                reach_native[p] = 1
+                changed = True
+            if pred and not reach_pred[p]:
+                reach_pred[p] = 1
+                changed = True
+            if changed:
+                worklist.append(p)
+    return reach_native, reach_pred
+
+
+def dead_star(graph: DependenceGraph):
+    """Node ids in D* (ultimately-dead producers)."""
+    reach_native, reach_pred = _consumer_reachability(graph)
+    flags = graph.flags
+    return [node_id for node_id in range(graph.num_nodes)
+            if not (flags[node_id] & F_CONSUMER)
+            and not reach_native[node_id] and not reach_pred[node_id]]
+
+
+@dataclass
+class DeadLine:
+    """Source attribution of ultimately-dead work."""
+
+    line: int
+    method: str
+    dead_frequency: int
+    sample_iids: list
+
+    def __repr__(self):
+        return (f"<DeadLine {self.method}:{self.line} "
+                f"freq={self.dead_frequency}>")
+
+
+def dead_lines(graph: DependenceGraph, program, top=None):
+    """Attribute D* frequencies to source lines, hottest first.
+
+    The report a developer reads after the IPD number says "something
+    is dead": which lines spend the most instructions producing values
+    nothing ever consumes.
+    """
+    method_of = {}
+    line_of = {}
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            for instr in method.body:
+                method_of[instr.iid] = method.qualified_name
+                line_of[instr.iid] = instr.line
+    by_line = {}
+    for node in dead_star(graph):
+        iid = graph.node_keys[node][0]
+        key = (line_of.get(iid, 0), method_of.get(iid, "?"))
+        entry = by_line.setdefault(key, [0, []])
+        entry[0] += graph.freq[node]
+        entry[1].append(iid)
+    results = [DeadLine(line=line, method=method,
+                        dead_frequency=freq, sample_iids=iids[:5])
+               for (line, method), (freq, iids)
+               in by_line.items()]
+    results.sort(key=lambda r: r.dead_frequency, reverse=True)
+    if top is not None:
+        results = results[:top]
+    return results
+
+
+def measure_bloat(graph: DependenceGraph,
+                  total_instructions: int) -> BloatMetrics:
+    """Compute the Table 1(c) row for one profiled execution."""
+    reach_native, reach_pred = _consumer_reachability(graph)
+    flags = graph.flags
+    freq = graph.freq
+    succs = graph.succs
+
+    dead_frequency = 0
+    predicate_frequency = 0
+    dead_nodes = 0
+    dead_sinks = 0
+    for node_id in range(graph.num_nodes):
+        if flags[node_id] & F_CONSUMER:
+            continue
+        if not reach_native[node_id]:
+            if not reach_pred[node_id]:
+                dead_nodes += 1
+                dead_frequency += freq[node_id]
+                if not succs[node_id]:
+                    dead_sinks += 1
+            else:
+                predicate_frequency += freq[node_id]
+    return BloatMetrics(
+        total_instructions=total_instructions,
+        dead_frequency=dead_frequency,
+        predicate_frequency=predicate_frequency,
+        dead_nodes=dead_nodes,
+        graph_nodes=graph.num_nodes,
+        dead_sinks=dead_sinks,
+    )

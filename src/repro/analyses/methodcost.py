@@ -1,0 +1,142 @@
+"""Method-level cost attribution (one of the §3.2 auxiliary clients).
+
+Aggregates Gcost node frequencies per method, giving the per-method
+share of total tracked work, allocation activity, and heap traffic —
+the coarse-grained view a developer uses to pick where to look next
+before drilling into object-level cost-benefit reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiler.graph import (F_ALLOC, F_HEAP_READ, F_HEAP_WRITE,
+                              DependenceGraph)
+
+
+@dataclass
+class MethodCost:
+    method: str
+    nodes: int
+    frequency: int         # instruction instances attributed
+    allocations: int       # frequency of allocation nodes
+    heap_reads: int
+    heap_writes: int
+
+    def __repr__(self):
+        return (f"<MethodCost {self.method} freq={self.frequency} "
+                f"alloc={self.allocations}>")
+
+
+def _iid_to_method(program):
+    mapping = {}
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            name = method.qualified_name
+            for instr in method.body:
+                mapping[instr.iid] = name
+    return mapping
+
+
+@dataclass
+class ReturnCost:
+    """Relative cost of producing one method's return values.
+
+    ``relative_cost`` is the HRAC-style cost: stack work between the
+    heap/parameter inputs and the returned value, averaged over the
+    return sites of the method.  High values flag methods that grind
+    through a lot of computation per value they hand back — the §3.2
+    "cost of producing the return value of a method relative to its
+    inputs" client.
+    """
+
+    method: str
+    returns_observed: int
+    relative_cost: float
+
+    def __repr__(self):
+        return (f"<ReturnCost {self.method} x{self.returns_observed} "
+                f"cost={self.relative_cost:.1f}>")
+
+
+def _method_local_cost(graph: DependenceGraph, start: int,
+                       method: str, mapping) -> int:
+    """Backward cost of ``start`` confined to ``method``'s own
+    instructions.
+
+    The traversal stops at heap reads (single-hop, like HRAC) *and* at
+    nodes belonging to other methods — those are the method's inputs
+    (parameter values and callee results), which the §3.2 client
+    measures the return value *relative to*.
+    """
+    flags = graph.flags
+    preds = graph.preds
+    freq = graph.freq
+    keys = graph.node_keys
+    visited = {start}
+    worklist = [start]
+    while worklist:
+        node = worklist.pop()
+        for pred in preds[node]:
+            if pred in visited:
+                continue
+            if flags[pred] & F_HEAP_READ:
+                continue
+            if mapping.get(keys[pred][0]) != method:
+                continue  # produced outside: an input, not our work
+            visited.add(pred)
+            worklist.append(pred)
+    return sum(freq[n] for n in visited)
+
+
+def return_costs(graph: DependenceGraph, return_nodes, program,
+                 top=None):
+    """Per-method relative return-value costs (§3.2).
+
+    ``return_nodes`` is ``CostTracker.return_nodes`` (return iid ->
+    producing graph nodes).  The cost of one return site is the summed
+    method-local, heap-bounded backward cost of its producing nodes; a
+    method's cost averages its sites.
+    """
+    mapping = _iid_to_method(program)
+    by_method = {}
+    for iid, nodes in return_nodes.items():
+        name = mapping.get(iid, "?")
+        cost = sum(_method_local_cost(graph, node, name, mapping)
+                   for node in nodes)
+        totals = by_method.setdefault(name, [0, 0.0])
+        totals[0] += len(nodes)
+        totals[1] += cost
+    results = [ReturnCost(method=name, returns_observed=count,
+                          relative_cost=total / max(count, 1))
+               for name, (count, total) in by_method.items()]
+    results.sort(key=lambda r: r.relative_cost, reverse=True)
+    if top is not None:
+        results = results[:top]
+    return results
+
+
+def method_costs(graph: DependenceGraph, program, top=None):
+    """Per-method cost summary, sorted by attributed frequency."""
+    mapping = _iid_to_method(program)
+    by_method = {}
+    for node_id, (iid, _) in enumerate(graph.node_keys):
+        name = mapping.get(iid, "?")
+        entry = by_method.get(name)
+        if entry is None:
+            entry = by_method[name] = MethodCost(name, 0, 0, 0, 0, 0)
+        freq = graph.freq[node_id]
+        flags = graph.flags[node_id]
+        entry.nodes += 1
+        entry.frequency += freq
+        if flags & F_ALLOC:
+            entry.allocations += freq
+        if flags & F_HEAP_READ:
+            entry.heap_reads += freq
+        if flags & F_HEAP_WRITE:
+            entry.heap_writes += freq
+    results = sorted(by_method.values(), key=lambda m: m.frequency,
+                     reverse=True)
+    if top is not None:
+        results = results[:top]
+    return results

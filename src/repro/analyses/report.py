@@ -1,0 +1,83 @@
+"""Human-readable reports over the analysis results.
+
+The paper's tool is used by reading ranked reports and inspecting the
+named allocation sites; these formatters produce the same style of
+output for examples, benchmarks, and interactive use.
+"""
+
+from __future__ import annotations
+
+from .deadvalues import BloatMetrics
+from .relative import INFINITE
+
+
+def _fmt(value, width: int = 10) -> str:
+    if value == INFINITE:
+        return "inf".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.1f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_cost_benefit_report(reports, top: int = 15) -> str:
+    """Tabular rendering of ranked SiteReport entries."""
+    lines = [
+        "rank  site                                    "
+        "n-RAC      n-RAB      C/B     allocs  where",
+        "-" * 100,
+    ]
+    for rank, report in enumerate(reports[:top], start=1):
+        where = f"{report.method} (line {report.line})"
+        lines.append(
+            f"{rank:>4}  {report.what:<36}"
+            f"{_fmt(report.n_rac)} {_fmt(report.n_rab)} "
+            f"{_fmt(report.ratio, 8)} {report.allocations:>8}  {where}")
+    if not reports:
+        lines.append("  (no data-structure activity observed)")
+    return "\n".join(lines)
+
+
+def format_bloat_metrics(name: str, metrics: BloatMetrics) -> str:
+    return (f"{name:<16} I={metrics.total_instructions:>10}  "
+            f"IPD={metrics.ipd * 100:5.1f}%  "
+            f"IPP={metrics.ipp * 100:5.1f}%  "
+            f"NLD={metrics.nld * 100:5.1f}%")
+
+
+def format_method_costs(costs, top: int = 10) -> str:
+    lines = [
+        "method                                      freq    allocs"
+        "    reads   writes",
+        "-" * 78,
+    ]
+    for cost in costs[:top]:
+        lines.append(
+            f"{cost.method:<40}{cost.frequency:>8}{cost.allocations:>10}"
+            f"{cost.heap_reads:>9}{cost.heap_writes:>9}")
+    return "\n".join(lines)
+
+
+def format_write_read_report(imbalances, top: int = 10) -> str:
+    lines = [
+        "site   field              writes    reads   w/r",
+        "-" * 56,
+    ]
+    for entry in imbalances[:top]:
+        ratio = "inf" if entry.never_read else f"{entry.ratio:.1f}"
+        lines.append(
+            f"{entry.alloc_site:>5}  {entry.field:<16}"
+            f"{entry.writes:>8} {entry.reads:>8}   {ratio}")
+    return "\n".join(lines)
+
+
+def format_copy_chains(chains, top: int = 10) -> str:
+    lines = [
+        "source field        ->  target field        hops   freq",
+        "-" * 60,
+    ]
+    for chain in chains[:top]:
+        src = f"O{chain.source[0]}.{chain.source[1]}"
+        dst = f"O{chain.target[0]}.{chain.target[1]}"
+        lines.append(f"{src:<20}->  {dst:<20}{chain.stack_hops:>4} "
+                     f"{chain.frequency:>6}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Typestate history recording (Figure 2b; after QVM).
+
+Abstract domain D = O × S: allocation sites of tracked objects crossed
+with their protocol states.  Instead of recording every event instance,
+events collapse into nodes ``(call iid, (site, state-before))`` plus
+*next-event* edges, from which the summarizing DFA of state changes is
+derived.  On a protocol violation the per-object history is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiler.base import TracerBase
+from ..profiler.graph import DependenceGraph
+
+
+@dataclass
+class TypestateSpec:
+    """A typestate protocol.
+
+    ``transitions[state][method] = next_state``; calling a tracked
+    method from a state with no entry is a violation.  Only objects of
+    ``class_names`` are tracked.
+    """
+
+    class_names: frozenset
+    initial: str
+    transitions: dict
+    name: str = "protocol"
+
+    def __post_init__(self):
+        self.tracked_methods = frozenset(
+            method
+            for by_method in self.transitions.values()
+            for method in by_method)
+
+
+@dataclass
+class Violation:
+    obj_repr: str
+    site: int
+    method: str
+    state: str
+    line: int
+    history: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        trail = " -> ".join(f"{m}@{s}" for m, s in self.history)
+        return (f"typestate violation: .{self.method}() in state "
+                f"{self.state!r} (object from site {self.site}, line "
+                f"{self.line}); history: {trail or '<empty>'}")
+
+
+def file_protocol() -> TypestateSpec:
+    """The paper's running example: File open/put/get/close."""
+    return TypestateSpec(
+        class_names=frozenset({"File"}),
+        initial="u",  # uninitialized
+        transitions={
+            "u": {"create": "oe"},
+            "oe": {"put": "on", "close": "c"},
+            "on": {"put": "on", "get": "on", "close": "c"},
+        },
+        name="file",
+    )
+
+
+class TypestateTracker(TracerBase):
+    """Records typestate histories over the bounded domain O × S."""
+
+    def __init__(self, spec: TypestateSpec,
+                 raise_on_violation: bool = False):
+        super().__init__()
+        self.spec = spec
+        self.raise_on_violation = raise_on_violation
+        self.graph = DependenceGraph()
+        self.violations = []
+        #: DFA edges observed: (site, state, method, next_state).
+        self.dfa_edges = set()
+        self._last_event = {}   # obj_id -> node id
+        self._histories = {}    # obj_id -> [(method, state_before)]
+
+    # -- hooks ----------------------------------------------------------------
+
+    def trace_new_object(self, instr, frame, obj):
+        if obj.cls.name in self.spec.class_names:
+            obj.state = self.spec.initial
+            self._histories[obj.obj_id] = []
+
+    def trace_call(self, instr, caller_frame, callee_frame, recv_obj):
+        if recv_obj is None or recv_obj.state is None:
+            return
+        method = instr.method_name
+        if method not in self.spec.tracked_methods:
+            return
+        state = recv_obj.state
+        site = recv_obj.site
+        node = self.graph.node(instr.iid, (site, state))
+        last = self._last_event.get(recv_obj.obj_id)
+        if last is not None:
+            # Next-event edge (dashed in the paper's Figure 2b).
+            self.graph.add_edge(last, node)
+        self._last_event[recv_obj.obj_id] = node
+        self._histories[recv_obj.obj_id].append((method, state))
+
+        next_state = self.spec.transitions.get(state, {}).get(method)
+        if next_state is None:
+            violation = Violation(
+                obj_repr=repr(recv_obj), site=site, method=method,
+                state=state, line=instr.line,
+                history=list(self._histories[recv_obj.obj_id][:-1]))
+            self.violations.append(violation)
+            if self.raise_on_violation:
+                from ..vm.errors import VMTypestateError
+                raise VMTypestateError(violation.describe(), instr,
+                                       caller_frame,
+                                       history=violation.history)
+        else:
+            self.dfa_edges.add((site, state, method, next_state))
+            recv_obj.state = next_state
+
+    # -- results -----------------------------------------------------------------
+
+    def dfa_for_site(self, site: int):
+        """The summarized DFA for one allocation site."""
+        return sorted((state, method, next_state)
+                      for s, state, method, next_state in self.dfa_edges
+                      if s == site)
+
+    def history_for(self, obj) -> list:
+        """Recorded (method, state-before) events for one object."""
+        return list(self._histories.get(obj.obj_id, []))

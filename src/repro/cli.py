@@ -1,0 +1,308 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run program.mj            # execute
+    python -m repro disasm program.mj         # show the TAC
+    python -m repro profile program.mj        # all reports
+    python -m repro profile program.mj --report cost-benefit --top 5
+    python -m repro profile program.mj --save-graph gcost.json
+    python -m repro analyze gcost.json program.mj   # offline analysis
+    python -m repro workloads --list
+    python -m repro workloads bloat_like --small
+    python -m repro table1 --small
+    python -m repro casestudies --small
+
+MiniJ programs get the full standard library unless ``--no-stdlib``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .lang.errors import CompileError
+from .vm.errors import VMError
+
+REPORT_CHOICES = ("cost-benefit", "bloat", "dead", "methods",
+                  "returns", "writes", "predicates", "caches", "all")
+
+
+def _load_program(path: str, use_stdlib: bool):
+    source = open(path).read()
+    if use_stdlib:
+        from .stdlib import compile_with_stdlib
+        return compile_with_stdlib(source)
+    from .lang import compile_source
+    return compile_source(source)
+
+
+def _print_reports(program, vm, tracker, which: str, top: int):
+    from .analyses import (analyze_caches, analyze_cost_benefit,
+                           constant_predicates, dead_lines,
+                           format_bloat_metrics, format_cache_report,
+                           format_cost_benefit_report,
+                           format_method_costs,
+                           format_write_read_report, measure_bloat,
+                           method_costs, return_costs,
+                           write_read_imbalances)
+    graph = tracker.graph
+
+    if which in ("cost-benefit", "all"):
+        print("== object cost-benefit (n-RAC / n-RAB) ==")
+        reports = analyze_cost_benefit(graph, program, heap=vm.heap)
+        print(format_cost_benefit_report(reports, top=top))
+        print()
+    if which in ("bloat", "all"):
+        print("== ultimately-dead values ==")
+        print(format_bloat_metrics("program",
+                                   measure_bloat(graph,
+                                                 vm.instr_count)))
+        print()
+    if which in ("dead", "all"):
+        print("== ultimately-dead work by source line ==")
+        for entry in dead_lines(graph, program, top=top):
+            print(f"  {entry.method}:{entry.line}  "
+                  f"dead-freq={entry.dead_frequency}")
+        print()
+    if which in ("methods", "all"):
+        print("== method-level costs ==")
+        print(format_method_costs(method_costs(graph, program),
+                                  top=top))
+        print()
+    if which in ("returns", "all"):
+        print("== return-value costs ==")
+        for entry in return_costs(graph, tracker.return_nodes,
+                                  program, top=top):
+            print(f"  {entry.method:<40} "
+                  f"x{entry.returns_observed:<6} "
+                  f"cost={entry.relative_cost:.1f}")
+        print()
+    if which in ("writes", "all"):
+        print("== write/read imbalances ==")
+        print(format_write_read_report(write_read_imbalances(graph),
+                                       top=top))
+        print()
+    if which in ("predicates", "all"):
+        print("== always-true/false predicates ==")
+        for entry in constant_predicates(graph,
+                                         tracker.branch_outcomes,
+                                         program)[:top]:
+            print(f"  line {entry.line}: always-{entry.always} "
+                  f"x{entry.executions} cost="
+                  f"{entry.condition_cost:.0f}")
+        print()
+    if which in ("caches", "all"):
+        print("== cache effectiveness ==")
+        print(format_cache_report(analyze_caches(graph),
+                                  program=program, top=top))
+        print()
+
+
+def cmd_run(args):
+    from .vm import VM
+    program = _load_program(args.file, not args.no_stdlib)
+    vm = VM(program, max_steps=args.max_steps)
+    vm.run()
+    sys.stdout.write(vm.stdout())
+    if not vm.stdout().endswith("\n"):
+        print()
+    print(f"[{vm.instr_count} instructions, "
+          f"{vm.heap.total_allocated} allocations]", file=sys.stderr)
+    return 0
+
+
+def cmd_disasm(args):
+    from .ir import format_program
+    program = _load_program(args.file, not args.no_stdlib)
+    print(format_program(program))
+    return 0
+
+
+def cmd_profile(args):
+    from .profiler import CostTracker, save_graph
+    from .vm import VM
+    program = _load_program(args.file, not args.no_stdlib)
+    tracker = CostTracker(slots=args.slots,
+                          phases=set(args.phases) if args.phases
+                          else None)
+    vm = VM(program, tracer=tracker, max_steps=args.max_steps)
+    vm.run()
+    print(f"output: {vm.stdout()!r}")
+    print(f"instructions: {vm.instr_count}; graph: "
+          f"{tracker.graph.num_nodes} nodes / "
+          f"{tracker.graph.num_edges} edges; "
+          f"CR: {tracker.conflict_ratio():.3f}")
+    print()
+    if args.explain is not None:
+        from .analyses import explain_site
+        print(explain_site(tracker.graph, program, args.explain))
+        print()
+    _print_reports(program, vm, tracker, args.report, args.top)
+    if args.save_graph:
+        save_graph(tracker.graph, args.save_graph,
+                   meta={"instructions": vm.instr_count,
+                         "slots": args.slots,
+                         "output": vm.stdout()})
+        print(f"graph written to {args.save_graph}")
+    return 0
+
+
+def cmd_analyze(args):
+    """Offline analysis of a previously saved Gcost."""
+    from .analyses import (analyze_cost_benefit, format_bloat_metrics,
+                           format_cost_benefit_report, measure_bloat)
+    from .profiler import load_graph_with_meta
+    graph, meta = load_graph_with_meta(args.graph)
+    program = _load_program(args.file, not args.no_stdlib)
+    print(f"loaded graph: {graph.num_nodes} nodes / "
+          f"{graph.num_edges} edges")
+    reports = analyze_cost_benefit(graph, program)
+    print(format_cost_benefit_report(reports, top=args.top))
+    instructions = meta.get("instructions")
+    if instructions:
+        print()
+        print(format_bloat_metrics(
+            "offline", measure_bloat(graph, instructions)))
+    return 0
+
+
+def cmd_workloads(args):
+    from .workloads import all_workloads, get_workload
+    if args.name is None:
+        print(f"{'name':<15} {'paper analogue':<42} pattern")
+        print("-" * 100)
+        for spec in all_workloads():
+            print(f"{spec.name:<15} {spec.paper_analogue:<42} "
+                  f"{spec.pattern}")
+        return 0
+    from .vm import VM
+    spec = get_workload(args.name)
+    scale = spec.small_scale if args.small else None
+    for variant in ("unopt", "opt"):
+        vm = VM(spec.build(variant, scale))
+        vm.run()
+        print(f"{variant:<6} output={vm.stdout()!r} "
+              f"I={vm.instr_count} allocs={vm.heap.total_allocated}")
+    return 0
+
+
+def cmd_table1(args):
+    from .metrics import format_table1, generate_table1
+    scale = _small_scale() if args.small else None
+    rows = generate_table1(slots_values=tuple(args.slots), scale=scale)
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_casestudies(args):
+    from .metrics import format_case_studies, run_all_case_studies
+    scale = _small_scale() if args.small else None
+    print(format_case_studies(run_all_case_studies(scale=scale)))
+    return 0
+
+
+def _small_scale():
+    from .workloads import all_workloads
+    merged = {}
+    for spec in all_workloads():
+        merged.update(spec.small_scale)
+    return merged
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-utility data structure finder "
+                    "(PLDI 2010 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--no-stdlib", action="store_true",
+                       help="compile without the MiniJ stdlib")
+        p.add_argument("--max-steps", type=int, default=2_000_000_000)
+
+    p = sub.add_parser("run", help="execute a MiniJ program")
+    p.add_argument("file")
+    add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("disasm", help="print the compiled TAC")
+    p.add_argument("file")
+    add_common(p)
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("profile",
+                       help="run under the cost tracker and report")
+    p.add_argument("file")
+    add_common(p)
+    p.add_argument("--slots", type=int, default=16,
+                   help="context slots s (default 16)")
+    p.add_argument("--report", choices=REPORT_CHOICES, default="all")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--phases", nargs="*",
+                   help="track only these Sys.phase names")
+    p.add_argument("--save-graph", metavar="PATH",
+                   help="write Gcost to a JSON file")
+    p.add_argument("--explain", type=int, metavar="SITE_IID",
+                   help="detailed explanation of one allocation site")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("analyze",
+                       help="offline analysis of a saved Gcost")
+    p.add_argument("graph", help="JSON file from profile --save-graph")
+    p.add_argument("file", help="the MiniJ source (for site names)")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--no-stdlib", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("workloads", help="list or run suite workloads")
+    p.add_argument("name", nargs="?")
+    p.add_argument("--small", action="store_true")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--small", action="store_true")
+    p.add_argument("--slots", type=int, nargs="+", default=[8, 16])
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("casestudies",
+                       help="regenerate the case-study table")
+    p.add_argument("--small", action="store_true")
+    p.set_defaults(func=cmd_casestudies)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head).
+        return 0
+    except FileNotFoundError as error:
+        print(f"repro: cannot open {error.filename!r}",
+              file=sys.stderr)
+        return 1
+    except CompileError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 1
+    except VMError as error:
+        where = f" at {error.where}" if error.instr is not None else ""
+        print(f"repro: runtime error{where}: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        # Registry lookups (workloads, stdlib modules) raise KeyError
+        # with a user-facing "unknown ..." message; anything else is a
+        # genuine bug and must keep its traceback.
+        message = error.args[0] if error.args else ""
+        if isinstance(message, str) and message.startswith("unknown"):
+            print(f"repro: {message}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Three-address-code IR: the paper's program representation.
+
+Public surface:
+
+* :mod:`repro.ir.types` — the MiniJ type system
+* :mod:`repro.ir.instructions` — TAC instruction classes and opcodes
+* :mod:`repro.ir.module` — :class:`Program`, :class:`ClassDef`,
+  :class:`MethodDef`, :class:`FieldDef`
+* :mod:`repro.ir.builder` — fluent builders
+* :mod:`repro.ir.printer` — disassembler
+* :mod:`repro.ir.verifier` — well-formedness checks
+"""
+
+from .builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from .module import ClassDef, FieldDef, IRError, MethodDef, Program
+from .printer import format_instruction, format_method, format_program
+from .types import (
+    BOOL,
+    INT,
+    NULL,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    Type,
+    array_of,
+    class_of,
+)
+from .verifier import VerifyError, verify_program
+
+__all__ = [
+    "BOOL", "INT", "NULL", "STRING", "VOID",
+    "ArrayType", "ClassType", "Type", "array_of", "class_of",
+    "ClassBuilder", "MethodBuilder", "ProgramBuilder",
+    "ClassDef", "FieldDef", "IRError", "MethodDef", "Program",
+    "format_instruction", "format_method", "format_program",
+    "VerifyError", "verify_program",
+]

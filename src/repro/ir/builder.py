@@ -1,0 +1,215 @@
+"""Fluent builders for constructing TAC programs by hand.
+
+The frontend's code generator uses these builders, and tests/examples can
+use them directly to build small programs without going through MiniJ
+source.  Each emit method returns the destination register (or the
+instruction for non-producing ops), so builders compose naturally::
+
+    b = MethodBuilder(method)
+    t = b.binop("+", b.const_int(1), b.const_int(2))
+    b.ret(t)
+"""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .module import ClassDef, FieldDef, IRError, MethodDef, Program
+from .types import BOOL, INT, NULL, STRING, VOID, Type
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` class-by-class."""
+
+    def __init__(self):
+        self.program = Program()
+
+    def class_(self, name: str, super_name=None) -> "ClassBuilder":
+        cls = self.program.add_class(ClassDef(name, super_name))
+        return ClassBuilder(self, cls)
+
+    def finalize(self, entry_class: str = "Main",
+                 entry_method: str = "main", verify: bool = True) -> Program:
+        return self.program.finalize(entry_class, entry_method, verify)
+
+
+class ClassBuilder:
+    def __init__(self, parent: ProgramBuilder, cls: ClassDef):
+        self.parent = parent
+        self.cls = cls
+
+    def field(self, name: str, type_: Type, static: bool = False):
+        self.cls.add_field(FieldDef(name, type_, static))
+        return self
+
+    def method(self, name: str, params=(), return_type: Type = VOID,
+               static: bool = False,
+               constructor: bool = False) -> "MethodBuilder":
+        md = MethodDef(name, params, return_type, static, constructor)
+        self.cls.add_method(md)
+        return MethodBuilder(md)
+
+    def constructor(self, params=()) -> "MethodBuilder":
+        """A constructor is a method named ``<init>``; CALL_SPECIAL only."""
+        return self.method("<init>", params, VOID, static=False,
+                           constructor=True)
+
+
+class MethodBuilder:
+    """Emits instructions into one method body."""
+
+    def __init__(self, method: MethodDef):
+        self.method = method
+        self._temp_counter = 0
+        self._label_counter = 0
+        self._line = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def at_line(self, line: int) -> "MethodBuilder":
+        """Set the source line recorded on subsequently emitted instrs."""
+        self._line = line
+        if line > self.method.max_line:
+            self.method.max_line = line
+        return self
+
+    def temp(self) -> str:
+        self._temp_counter += 1
+        return f"%t{self._temp_counter}"
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def label(self, name: str) -> str:
+        """Bind ``name`` to the next instruction index."""
+        if name in self.method.labels:
+            raise IRError(
+                f"label {name!r} bound twice in {self.method.qualified_name}")
+        self.method.labels[name] = len(self.method.body)
+        return name
+
+    def _emit(self, instr: ins.Instruction):
+        instr.line = self._line
+        self.method.body.append(instr)
+        return instr
+
+    # -- constants and copies ------------------------------------------------
+
+    def const_int(self, value: int, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.Const(dest, int(value), INT))
+        return dest
+
+    def const_bool(self, value: bool, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.Const(dest, bool(value), BOOL))
+        return dest
+
+    def const_str(self, value: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.Const(dest, str(value), STRING))
+        return dest
+
+    def const_null(self, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.Const(dest, None, NULL))
+        return dest
+
+    def move(self, dest: str, src: str) -> str:
+        self._emit(ins.Move(dest, src))
+        return dest
+
+    # -- computations ---------------------------------------------------------
+
+    def binop(self, op: str, lhs: str, rhs: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.BinOp(dest, op, lhs, rhs))
+        return dest
+
+    def unop(self, op: str, src: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.UnOp(dest, op, src))
+        return dest
+
+    def intrinsic(self, intr: str, args, dest=None) -> str:
+        if intr not in ins.INTRINSIC_NAMES:
+            raise IRError(f"unknown intrinsic {intr!r}")
+        dest = dest or self.temp()
+        self._emit(ins.Intrinsic(dest, intr, args))
+        return dest
+
+    # -- heap ------------------------------------------------------------------
+
+    def new_object(self, class_name: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.NewObject(dest, class_name))
+        return dest
+
+    def new_array(self, elem_type: Type, size: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.NewArray(dest, elem_type, size))
+        return dest
+
+    def load_field(self, obj: str, field: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.LoadField(dest, obj, field))
+        return dest
+
+    def store_field(self, obj: str, field: str, src: str):
+        return self._emit(ins.StoreField(obj, field, src))
+
+    def load_static(self, class_name: str, field: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.LoadStatic(dest, class_name, field))
+        return dest
+
+    def store_static(self, class_name: str, field: str, src: str):
+        return self._emit(ins.StoreStatic(class_name, field, src))
+
+    def array_load(self, arr: str, idx: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.ArrayLoad(dest, arr, idx))
+        return dest
+
+    def array_store(self, arr: str, idx: str, src: str):
+        return self._emit(ins.ArrayStore(arr, idx, src))
+
+    def array_len(self, arr: str, dest=None) -> str:
+        dest = dest or self.temp()
+        self._emit(ins.ArrayLen(dest, arr))
+        return dest
+
+    # -- calls -------------------------------------------------------------------
+
+    def call_virtual(self, class_name: str, method_name: str, recv: str,
+                     args=(), dest=None) -> str:
+        self._emit(ins.Call(dest, ins.CALL_VIRTUAL, class_name, method_name,
+                            recv, args))
+        return dest
+
+    def call_static(self, class_name: str, method_name: str, args=(),
+                    dest=None) -> str:
+        self._emit(ins.Call(dest, ins.CALL_STATIC, class_name, method_name,
+                            None, args))
+        return dest
+
+    def call_special(self, class_name: str, method_name: str, recv: str,
+                     args=(), dest=None) -> str:
+        self._emit(ins.Call(dest, ins.CALL_SPECIAL, class_name, method_name,
+                            recv, args))
+        return dest
+
+    def call_native(self, native: str, args=(), dest=None) -> str:
+        self._emit(ins.CallNative(dest, native, args))
+        return dest
+
+    # -- control flow ---------------------------------------------------------------
+
+    def jump(self, target: str):
+        return self._emit(ins.Jump(target))
+
+    def branch(self, cond: str, then_target: str, else_target: str):
+        return self._emit(ins.Branch(cond, then_target, else_target))
+
+    def ret(self, src=None):
+        return self._emit(ins.Return(src))

@@ -1,0 +1,106 @@
+"""Disassembler: renders TAC programs/methods back to readable text.
+
+Used by diagnostics, error reports, and tests that assert on IR shape.
+"""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .module import MethodDef, Program
+
+
+def format_instruction(instr: ins.Instruction) -> str:
+    """One-line rendering of a single instruction (without iid prefix)."""
+    op = instr.op
+    if op == ins.OP_CONST:
+        value = instr.value
+        if isinstance(value, str):
+            value = repr(value)
+        elif value is None:
+            value = "null"
+        return f"{instr.dest} = const {value}"
+    if op == ins.OP_MOVE:
+        return f"{instr.dest} = {instr.src}"
+    if op == ins.OP_BINOP:
+        return f"{instr.dest} = {instr.lhs} {instr.binop} {instr.rhs}"
+    if op == ins.OP_UNOP:
+        return f"{instr.dest} = {instr.unop} {instr.src}"
+    if op == ins.OP_NEW_OBJECT:
+        return f"{instr.dest} = new {instr.class_name}"
+    if op == ins.OP_NEW_ARRAY:
+        return f"{instr.dest} = new {instr.elem_type}[{instr.size}]"
+    if op == ins.OP_LOAD_FIELD:
+        return f"{instr.dest} = {instr.obj}.{instr.field}"
+    if op == ins.OP_STORE_FIELD:
+        return f"{instr.obj}.{instr.field} = {instr.src}"
+    if op == ins.OP_LOAD_STATIC:
+        return f"{instr.dest} = {instr.class_name}::{instr.field}"
+    if op == ins.OP_STORE_STATIC:
+        return f"{instr.class_name}::{instr.field} = {instr.src}"
+    if op == ins.OP_ARRAY_LOAD:
+        return f"{instr.dest} = {instr.arr}[{instr.idx}]"
+    if op == ins.OP_ARRAY_STORE:
+        return f"{instr.arr}[{instr.idx}] = {instr.src}"
+    if op == ins.OP_ARRAY_LEN:
+        return f"{instr.dest} = len({instr.arr})"
+    if op == ins.OP_CALL:
+        args = ", ".join(instr.args)
+        recv = f"{instr.recv}." if instr.recv is not None else ""
+        target = f"{instr.class_name}.{instr.method_name}"
+        prefix = f"{instr.dest} = " if instr.dest else ""
+        return f"{prefix}{instr.kind} {recv}{target}({args})"
+    if op == ins.OP_CALL_NATIVE:
+        args = ", ".join(instr.args)
+        prefix = f"{instr.dest} = " if instr.dest else ""
+        return f"{prefix}native {instr.native}({args})"
+    if op == ins.OP_RETURN:
+        return f"return {instr.src}" if instr.src else "return"
+    if op == ins.OP_JUMP:
+        return f"jump {instr.target} (@{instr.target_index})"
+    if op == ins.OP_BRANCH:
+        return (f"if {instr.cond} goto {instr.then_target} "
+                f"(@{instr.then_index}) else {instr.else_target} "
+                f"(@{instr.else_index})")
+    if op == ins.OP_INTRINSIC:
+        args = ", ".join(instr.args)
+        return f"{instr.dest} = intr {instr.intr}({args})"
+    return repr(instr)
+
+
+def format_method(method: MethodDef) -> str:
+    """Multi-line rendering of a method body with labels and iids."""
+    index_to_labels = {}
+    for name, index in method.labels.items():
+        index_to_labels.setdefault(index, []).append(name)
+    static = "static " if method.is_static else ""
+    params = ", ".join(f"{t} {n}" for n, t in method.params)
+    lines = [f"{static}{method.return_type} "
+             f"{method.qualified_name}({params}) {{"]
+    for index, instr in enumerate(method.body):
+        for label in sorted(index_to_labels.get(index, [])):
+            lines.append(f"  {label}:")
+        lines.append(f"    [{instr.iid:5d}] {format_instruction(instr)}")
+    for label in sorted(index_to_labels.get(len(method.body), [])):
+        lines.append(f"  {label}:")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render the whole program, classes in name order."""
+    chunks = []
+    for cls in sorted(program.classes.values(), key=lambda c: c.name):
+        header = f"class {cls.name}"
+        if cls.super_name:
+            header += f" extends {cls.super_name}"
+        chunks.append(header + " {")
+        for fd in cls.static_fields.values():
+            chunks.append(f"  static {fd.type} {fd.name};")
+        for fd in cls.fields.values():
+            chunks.append(f"  {fd.type} {fd.name};")
+        for method in sorted(cls.methods.values(), key=lambda m: m.name):
+            body = format_method(method)
+            chunks.append("\n".join("  " + line
+                                    for line in body.splitlines()))
+        chunks.append("}")
+    return "\n".join(chunks)

@@ -1,0 +1,167 @@
+"""Type system for the MiniJ three-address-code IR.
+
+The IR is deliberately small: primitive ``int``/``bool``, immutable
+``string`` values, ``void`` for method returns, reference types for user
+classes, arrays of any element type, and the ``null`` bottom reference
+type.  Types are immutable value objects; identical types compare equal
+and hash equal, so they can be used freely as dict keys.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    #: Short name used by the printer and error messages.
+    name = "?"
+
+    def is_reference(self) -> bool:
+        """True for class, array, and null types (heap references)."""
+        return False
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class IntType(Type):
+    name = "int"
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+
+class BoolType(Type):
+    name = "bool"
+
+    def __eq__(self, other):
+        return isinstance(other, BoolType)
+
+    def __hash__(self):
+        return hash("bool")
+
+
+class StringType(Type):
+    """Immutable string values.
+
+    Strings flow like values (thin slicing never treats a string operand
+    as a base pointer), mirroring how the paper's analysis treats values
+    loaded from the heap once they are on the stack.
+    """
+
+    name = "string"
+
+    def __eq__(self, other):
+        return isinstance(other, StringType)
+
+    def __hash__(self):
+        return hash("string")
+
+
+class VoidType(Type):
+    name = "void"
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+
+class NullType(Type):
+    """The type of the ``null`` literal; assignable to any reference type."""
+
+    name = "null"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, NullType)
+
+    def __hash__(self):
+        return hash("null")
+
+
+class ClassType(Type):
+    """A reference to an instance of a user-defined class."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, ClassType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("class", self.name))
+
+
+class ArrayType(Type):
+    """An array with a fixed element type."""
+
+    __slots__ = ("elem",)
+
+    def __init__(self, elem: Type):
+        self.elem = elem
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.elem}[]"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, ArrayType) and other.elem == self.elem
+
+    def __hash__(self):
+        return hash(("array", self.elem))
+
+
+#: Singleton instances; prefer these over constructing new primitives.
+INT = IntType()
+BOOL = BoolType()
+STRING = StringType()
+VOID = VoidType()
+NULL = NullType()
+
+
+def array_of(elem: Type) -> ArrayType:
+    """Convenience constructor for array types."""
+    return ArrayType(elem)
+
+
+def class_of(name: str) -> ClassType:
+    """Convenience constructor for class reference types."""
+    return ClassType(name)
+
+
+def is_assignable(target: Type, source: Type, subclass_test=None) -> bool:
+    """Whether a value of ``source`` type may be stored into ``target``.
+
+    ``subclass_test(sub, sup)`` resolves class subtyping; when omitted,
+    class types must match exactly.  ``null`` is assignable to every
+    reference type and to ``string`` (strings flow as values but are
+    nullable, like Java's String).  Arrays are invariant in their
+    element type.
+    """
+    if target == source:
+        return True
+    if isinstance(source, NullType):
+        return target.is_reference() or isinstance(target, StringType)
+    if isinstance(target, ClassType) and isinstance(source, ClassType):
+        if subclass_test is not None:
+            return subclass_test(source.name, target.name)
+        return False
+    return False

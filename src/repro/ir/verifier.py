@@ -1,0 +1,146 @@
+"""IR well-formedness verifier.
+
+Run automatically at ``Program.finalize()``.  Catches structural mistakes
+early — undefined registers used before definition on some path is *not*
+checked (that needs dataflow and the frontend guarantees it); instead the
+verifier checks cheap whole-method invariants:
+
+* every branch/jump target index is inside the body,
+* every method body ends in a return / jump / branch (no fall-off),
+* register names are non-empty strings,
+* field and class references resolve,
+* call arity matches the resolved target (static/special) or every
+  possible override (virtual),
+* constructors return void and are not static,
+* intrinsic arity matches the intrinsic signature.
+"""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .module import IRError, MethodDef, Program
+
+_INTRINSIC_ARITY = {
+    ins.INTR_SLEN: 1,
+    ins.INTR_SCHARAT: 2,
+    ins.INTR_SEQ: 2,
+    ins.INTR_SHASH: 1,
+    ins.INTR_ITOS: 1,
+    ins.INTR_CHR: 1,
+    ins.INTR_SCMP: 2,
+}
+
+_TERMINATORS = (ins.OP_RETURN, ins.OP_JUMP, ins.OP_BRANCH)
+
+
+class VerifyError(IRError):
+    """Raised when verification fails; message includes the method."""
+
+
+def verify_program(program: Program):
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            _verify_method(program, method)
+
+
+def _fail(method: MethodDef, message: str):
+    raise VerifyError(f"{method.qualified_name}: {message}")
+
+
+def _verify_method(program: Program, method: MethodDef):
+    body = method.body
+    if not body:
+        _fail(method, "empty body")
+    if body[-1].op not in _TERMINATORS:
+        _fail(method, "body does not end in return/jump/branch")
+    if method.is_constructor and method.is_static:
+        _fail(method, "constructor cannot be static")
+    size = len(body)
+    for index, instr in enumerate(body):
+        _verify_registers(method, instr)
+        op = instr.op
+        if op == ins.OP_JUMP:
+            if not (0 <= instr.target_index < size):
+                _fail(method, f"jump target out of range at index {index}")
+        elif op == ins.OP_BRANCH:
+            if not (0 <= instr.then_index < size):
+                _fail(method, f"branch then-target out of range at {index}")
+            if not (0 <= instr.else_index < size):
+                _fail(method, f"branch else-target out of range at {index}")
+        elif op == ins.OP_NEW_OBJECT:
+            if instr.class_name not in program.classes:
+                _fail(method, f"new of unknown class {instr.class_name}")
+        elif op == ins.OP_LOAD_STATIC or op == ins.OP_STORE_STATIC:
+            fd = program.lookup_static_field(instr.class_name, instr.field)
+            if fd is None:
+                _fail(method,
+                      f"unknown static field "
+                      f"{instr.class_name}.{instr.field}")
+        elif op == ins.OP_CALL:
+            _verify_call(program, method, instr)
+        elif op == ins.OP_INTRINSIC:
+            arity = _INTRINSIC_ARITY.get(instr.intr)
+            if arity is None:
+                _fail(method, f"unknown intrinsic {instr.intr}")
+            if len(instr.args) != arity:
+                _fail(method,
+                      f"intrinsic {instr.intr} expects {arity} args, "
+                      f"got {len(instr.args)}")
+        elif op == ins.OP_RETURN:
+            wants_value = instr.src is not None
+            is_void = method.return_type.name == "void"
+            if wants_value and is_void:
+                _fail(method, "value return from void method")
+            if not wants_value and not is_void:
+                _fail(method, "bare return from non-void method")
+
+
+def _verify_registers(method: MethodDef, instr: ins.Instruction):
+    dest = instr.defs()
+    if dest is not None and (not isinstance(dest, str) or not dest):
+        _fail(method, f"bad destination register in {instr!r}")
+    for reg in instr.uses():
+        if not isinstance(reg, str) or not reg:
+            _fail(method, f"bad operand register in {instr!r}")
+
+
+def _verify_call(program: Program, method: MethodDef, instr: ins.Call):
+    if instr.kind == ins.CALL_VIRTUAL:
+        if instr.recv is None:
+            _fail(method, "virtual call without receiver")
+        target = program.lookup_method(instr.class_name, instr.method_name)
+        if target is None:
+            _fail(method,
+                  f"virtual call to unknown "
+                  f"{instr.class_name}.{instr.method_name}")
+        if len(target.params) != len(instr.args):
+            _fail(method,
+                  f"call arity mismatch for "
+                  f"{instr.class_name}.{instr.method_name}: "
+                  f"{len(instr.args)} args, {len(target.params)} params")
+        if target.is_static:
+            _fail(method,
+                  f"virtual call to static method "
+                  f"{target.qualified_name}")
+    else:
+        target = instr.resolved
+        if target is None:
+            _fail(method, f"unresolved {instr.kind} call in {instr!r}")
+        if len(target.params) != len(instr.args):
+            _fail(method,
+                  f"call arity mismatch for {target.qualified_name}: "
+                  f"{len(instr.args)} args, {len(target.params)} params")
+        if instr.kind == ins.CALL_STATIC:
+            if not target.is_static:
+                _fail(method,
+                      f"static call to instance method "
+                      f"{target.qualified_name}")
+            if instr.recv is not None:
+                _fail(method, "static call with receiver")
+        elif instr.kind == ins.CALL_SPECIAL:
+            if instr.recv is None:
+                _fail(method, "special call without receiver")
+            if target.is_static:
+                _fail(method,
+                      f"special call to static method "
+                      f"{target.qualified_name}")

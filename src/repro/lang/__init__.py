@@ -1,0 +1,23 @@
+"""MiniJ frontend: lexer, parser, type checker, and TAC code generator.
+
+The one-call entry point is :func:`compile_source`::
+
+    from repro.lang import compile_source
+    program = compile_source(source_text)        # finalized IR Program
+"""
+
+from .ast import ProgramDecl
+from .codegen import compile_source
+from .errors import CompileError, LexError, ParseError, TypeError_
+from .formatter import format_program_decl, format_source
+from .lexer import tokenize
+from .parser import parse
+from .resolver import ClassTable, build_class_table
+from .typecheck import check
+
+__all__ = [
+    "compile_source", "parse", "tokenize", "check", "build_class_table",
+    "ClassTable", "ProgramDecl",
+    "CompileError", "LexError", "ParseError", "TypeError_",
+    "format_source", "format_program_decl",
+]

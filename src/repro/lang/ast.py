@@ -1,0 +1,360 @@
+"""Abstract syntax tree for MiniJ.
+
+Nodes carry source positions for diagnostics.  The type checker
+annotates expression nodes in place (``.type`` and resolution fields
+consumed by the code generator); those fields default to ``None`` here.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntactic; resolved to repro.ir types by the checker)
+# ---------------------------------------------------------------------------
+
+class TypeExpr(Node):
+    """``int``, ``bool``, ``string``, ``void``, a class name, or arrays."""
+
+    __slots__ = ("base", "dims")
+
+    def __init__(self, base: str, dims: int = 0, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.base = base
+        self.dims = dims
+
+    def __repr__(self):
+        return self.base + "[]" * self.dims
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+class ProgramDecl(Node):
+    __slots__ = ("classes",)
+
+    def __init__(self, classes, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.classes = classes
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "super_name", "fields", "methods", "constructors")
+
+    def __init__(self, name, super_name, fields, methods, constructors,
+                 line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.name = name
+        self.super_name = super_name
+        self.fields = fields
+        self.methods = methods
+        self.constructors = constructors
+
+
+class FieldDecl(Node):
+    __slots__ = ("type_expr", "name", "is_static")
+
+    def __init__(self, type_expr, name, is_static, line: int = 0,
+                 col: int = 0):
+        super().__init__(line, col)
+        self.type_expr = type_expr
+        self.name = name
+        self.is_static = is_static
+
+
+class MethodDecl(Node):
+    __slots__ = ("return_type", "name", "params", "body", "is_static",
+                 "is_constructor")
+
+    def __init__(self, return_type, name, params, body, is_static,
+                 is_constructor=False, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.return_type = return_type
+        self.name = name
+        self.params = params          # [(TypeExpr, name)]
+        self.body = body              # Block
+        self.is_static = is_static
+        self.is_constructor = is_constructor
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.stmts = stmts
+
+
+class VarDecl(Stmt):
+    __slots__ = ("type_expr", "name", "init", "reg")
+
+    def __init__(self, type_expr, name, init, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.type_expr = type_expr
+        self.name = name
+        self.init = init
+        self.reg = None  # unique register name, set by the checker
+
+
+class Assign(Stmt):
+    """``target op= value`` where op is '' for plain assignment."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target, op, value, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class IncDec(Stmt):
+    """``target++`` / ``target--`` used as a statement."""
+
+    __slots__ = ("target", "delta")
+
+    def __init__(self, target, delta, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.target = target
+        self.delta = delta  # +1 or -1
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_stmt", "else_stmt")
+
+    def __init__(self, cond, then_stmt, else_stmt, line: int = 0,
+                 col: int = 0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.then_stmt = then_stmt
+        self.else_stmt = else_stmt
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(self, init, cond, update, body, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.init = init        # VarDecl | Assign | IncDec | None
+        self.cond = cond        # Expr | None (None = true)
+        self.update = update    # Assign | IncDec | ExprStmt | None
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.expr = expr
+
+
+class SuperCall(Stmt):
+    """``super(args);`` — explicit superclass constructor invocation."""
+
+    __slots__ = ("args", "resolved_class")
+
+    def __init__(self, args, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.args = args
+        self.resolved_class = None  # superclass name, set by the checker
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.type = None  # repro.ir type, set by the checker
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.value = value
+
+
+class NullLit(Expr):
+    __slots__ = ()
+
+
+class This(Expr):
+    __slots__ = ()
+
+
+class Name(Expr):
+    """An identifier: local, parameter, field, or class reference.
+
+    The checker sets ``binding`` to one of:
+
+    * ``("local", register_name)``
+    * ``("field", FieldDef)`` — implicit ``this`` access
+    * ``("static", FieldDef)``
+    * ``("class", class_name)`` — only legal as a qualifier
+    """
+
+    __slots__ = ("ident", "binding")
+
+    def __init__(self, ident, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.ident = ident
+        self.binding = None
+
+
+class FieldAccess(Expr):
+    """``expr.name`` — instance field, static field, or array ``length``.
+
+    ``kind`` (set by the checker) is one of ``"field"``, ``"static"``,
+    ``"arraylen"``.
+    """
+
+    __slots__ = ("obj", "name", "kind", "field_def")
+
+    def __init__(self, obj, name, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.obj = obj
+        self.name = name
+        self.kind = None
+        self.field_def = None
+
+
+class Index(Expr):
+    __slots__ = ("arr", "idx")
+
+    def __init__(self, arr, idx, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.arr = arr
+        self.idx = idx
+
+
+class CallExpr(Expr):
+    """Any call: ``m(...)``, ``expr.m(...)``, ``Class.m(...)``.
+
+    The checker sets ``kind`` to one of ``"virtual"``, ``"static"``,
+    ``"native"``, ``"intrinsic"`` and fills the matching resolution
+    fields.
+    """
+
+    __slots__ = ("recv", "method", "args", "kind", "target_class",
+                 "target_method", "native", "intrinsic", "extra_args")
+
+    def __init__(self, recv, method, args, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.recv = recv          # Expr | None (unqualified / static)
+        self.method = method
+        self.args = args
+        self.kind = None
+        self.target_class = None
+        self.target_method = None  # MethodDecl signature info
+        self.native = None
+        self.intrinsic = None
+        self.extra_args = None
+
+
+class New(Expr):
+    __slots__ = ("class_name", "args", "ctor_class")
+
+    def __init__(self, class_name, args, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.class_name = class_name
+        self.args = args
+        self.ctor_class = None  # set by checker when a ctor must be called
+
+
+class NewArray(Expr):
+    __slots__ = ("elem_type_expr", "size")
+
+    def __init__(self, elem_type_expr, size, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.elem_type_expr = elem_type_expr
+        self.size = size
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """Binary expression; the checker may set ``lowered`` hints.
+
+    ``lowered`` is one of None (plain numeric/bool op), ``"concat"``,
+    ``"seq"`` / ``"sne"`` (string equality), ``"and"`` / ``"or"``
+    (short-circuit).
+    """
+
+    __slots__ = ("op", "lhs", "rhs", "lowered")
+
+    def __init__(self, op, lhs, rhs, line: int = 0, col: int = 0):
+        super().__init__(line, col)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.lowered = None

@@ -1,0 +1,49 @@
+"""Compilation diagnostics for the MiniJ frontend."""
+
+from __future__ import annotations
+
+
+class SourcePosition:
+    """A (line, column) pair; columns are 1-based."""
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int, col: int):
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return f"{self.line}:{self.col}"
+
+
+class CompileError(Exception):
+    """A frontend error with source position and phase information."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 phase: str = "compile"):
+        self.message = message
+        self.line = line
+        self.col = col
+        self.phase = phase
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        where = f" at {self.line}:{self.col}" if self.line else ""
+        return f"{self.phase} error{where}: {self.message}"
+
+
+class LexError(CompileError):
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(message, line, col, phase="lex")
+
+
+class ParseError(CompileError):
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(message, line, col, phase="parse")
+
+
+class TypeError_(CompileError):
+    """Named with a trailing underscore to avoid clashing with builtins."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(message, line, col, phase="type")

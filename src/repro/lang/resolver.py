@@ -1,0 +1,232 @@
+"""Pass 1 of semantic analysis: collect class/member signatures.
+
+Builds a :class:`ClassTable` mapping class names to resolved member
+signatures, with all syntactic type expressions resolved to
+:mod:`repro.ir.types` objects.  The type checker (pass 2) consults the
+table; the code generator reuses it for ctor lookup.
+"""
+
+from __future__ import annotations
+
+from ..ir import types as irt
+from . import ast
+from .errors import TypeError_
+
+#: Class names reserved for VM builtins (natives and intrinsics).
+BUILTIN_CLASSES = frozenset({"Sys", "Str"})
+
+
+class FieldSig:
+    __slots__ = ("name", "type", "is_static", "owner")
+
+    def __init__(self, name, type_, is_static, owner):
+        self.name = name
+        self.type = type_
+        self.is_static = is_static
+        self.owner = owner  # class name declaring the field
+
+
+class MethodSig:
+    __slots__ = ("name", "param_types", "param_names", "return_type",
+                 "is_static", "owner", "is_constructor")
+
+    def __init__(self, name, param_types, param_names, return_type,
+                 is_static, owner, is_constructor=False):
+        self.name = name
+        self.param_types = param_types
+        self.param_names = param_names
+        self.return_type = return_type
+        self.is_static = is_static
+        self.owner = owner
+        self.is_constructor = is_constructor
+
+
+class ClassInfo:
+    __slots__ = ("name", "super_name", "fields", "static_fields", "methods",
+                 "ctor", "decl")
+
+    def __init__(self, name, super_name, decl):
+        self.name = name
+        self.super_name = super_name
+        self.fields = {}          # name -> FieldSig (instance)
+        self.static_fields = {}   # name -> FieldSig
+        self.methods = {}         # name -> MethodSig
+        self.ctor = None          # MethodSig | None
+        self.decl = decl          # ClassDecl AST node
+
+
+class ClassTable:
+    """All classes of a program with hierarchy-aware lookups."""
+
+    def __init__(self):
+        self.classes = {}  # name -> ClassInfo
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def supers(self, name: str):
+        """Yield ``name`` and its superclasses, nearest first."""
+        info = self.classes.get(name)
+        while info is not None:
+            yield info
+            info = self.classes.get(info.super_name) \
+                if info.super_name else None
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        return any(info.name == sup for info in self.supers(sub))
+
+    def assignable(self, target: irt.Type, source: irt.Type) -> bool:
+        return irt.is_assignable(target, source, self.is_subclass)
+
+    # -- member lookup -------------------------------------------------------
+
+    def find_field(self, class_name: str, field: str):
+        for info in self.supers(class_name):
+            sig = info.fields.get(field)
+            if sig is not None:
+                return sig
+        return None
+
+    def find_static_field(self, class_name: str, field: str):
+        for info in self.supers(class_name):
+            sig = info.static_fields.get(field)
+            if sig is not None:
+                return sig
+        return None
+
+    def find_method(self, class_name: str, method: str):
+        for info in self.supers(class_name):
+            sig = info.methods.get(method)
+            if sig is not None:
+                return sig
+        return None
+
+    def find_ctor(self, class_name: str):
+        info = self.classes.get(class_name)
+        return info.ctor if info is not None else None
+
+
+def resolve_type(table: ClassTable, type_expr: ast.TypeExpr) -> irt.Type:
+    """Resolve a syntactic type to an IR type, or raise TypeError_."""
+    base = type_expr.base
+    if base == "int":
+        result = irt.INT
+    elif base == "bool":
+        result = irt.BOOL
+    elif base == "string":
+        result = irt.STRING
+    elif base == "void":
+        result = irt.VOID
+    elif base in BUILTIN_CLASSES:
+        raise TypeError_(f"{base} is a builtin and not a value type",
+                         type_expr.line, type_expr.col)
+    elif base in table.classes:
+        result = irt.class_of(base)
+    else:
+        raise TypeError_(f"unknown type {base!r}",
+                         type_expr.line, type_expr.col)
+    for _ in range(type_expr.dims):
+        result = irt.array_of(result)
+    return result
+
+
+def build_class_table(program: ast.ProgramDecl) -> ClassTable:
+    table = ClassTable()
+
+    # First: register class names so types can refer to any class.
+    for decl in program.classes:
+        if decl.name in BUILTIN_CLASSES:
+            raise TypeError_(f"class name {decl.name!r} is reserved",
+                             decl.line, decl.col)
+        if decl.name in table.classes:
+            raise TypeError_(f"duplicate class {decl.name!r}",
+                             decl.line, decl.col)
+        table.classes[decl.name] = ClassInfo(decl.name, decl.super_name,
+                                             decl)
+
+    # Validate supers and reject cycles.
+    for info in table.classes.values():
+        if info.super_name is not None:
+            if info.super_name not in table.classes:
+                decl = info.decl
+                raise TypeError_(
+                    f"class {info.name} extends unknown class "
+                    f"{info.super_name}", decl.line, decl.col)
+        seen = set()
+        for ancestor in table.supers(info.name):
+            if ancestor.name in seen:
+                raise TypeError_(
+                    f"inheritance cycle through {ancestor.name}",
+                    info.decl.line, info.decl.col)
+            seen.add(ancestor.name)
+
+    # Second: resolve member signatures.
+    for decl in program.classes:
+        info = table.classes[decl.name]
+        for field in decl.fields:
+            type_ = resolve_type(table, field.type_expr)
+            sig = FieldSig(field.name, type_, field.is_static, decl.name)
+            target = info.static_fields if field.is_static else info.fields
+            if field.name in info.fields or field.name in info.static_fields:
+                raise TypeError_(
+                    f"duplicate field {decl.name}.{field.name}",
+                    field.line, field.col)
+            target[field.name] = sig
+        for method in decl.methods:
+            _add_method(table, info, method)
+        if len(decl.constructors) > 1:
+            ctor = decl.constructors[1]
+            raise TypeError_(
+                f"class {decl.name} has more than one constructor "
+                "(MiniJ has no overloading)", ctor.line, ctor.col)
+        if decl.constructors:
+            ctor = decl.constructors[0]
+            param_types = [resolve_type(table, t) for t, _ in ctor.params]
+            param_names = [n for _, n in ctor.params]
+            _check_param_names(ctor, param_names)
+            info.ctor = MethodSig("<init>", param_types, param_names,
+                                  irt.VOID, False, decl.name,
+                                  is_constructor=True)
+
+    # Third: check overrides keep the signature (no overloading).
+    for info in table.classes.values():
+        if info.super_name is None:
+            continue
+        for name, sig in info.methods.items():
+            inherited = table.find_method(info.super_name, name)
+            if inherited is None:
+                continue
+            if inherited.is_static or sig.is_static:
+                raise TypeError_(
+                    f"{info.name}.{name} conflicts with a static method "
+                    f"in {inherited.owner}",
+                    info.decl.line, info.decl.col)
+            if (inherited.param_types != sig.param_types
+                    or inherited.return_type != sig.return_type):
+                raise TypeError_(
+                    f"override {info.name}.{name} changes the signature "
+                    f"of {inherited.owner}.{name}",
+                    info.decl.line, info.decl.col)
+    return table
+
+
+def _add_method(table: ClassTable, info: ClassInfo, method: ast.MethodDecl):
+    if method.name in info.methods:
+        raise TypeError_(
+            f"duplicate method {info.name}.{method.name} "
+            "(MiniJ has no overloading)", method.line, method.col)
+    param_types = [resolve_type(table, t) for t, _ in method.params]
+    param_names = [n for _, n in method.params]
+    _check_param_names(method, param_names)
+    return_type = resolve_type(table, method.return_type)
+    info.methods[method.name] = MethodSig(
+        method.name, param_types, param_names, return_type,
+        method.is_static, info.name)
+
+
+def _check_param_names(method: ast.MethodDecl, names):
+    if len(set(names)) != len(names):
+        raise TypeError_(f"duplicate parameter name in {method.name}",
+                         method.line, method.col)
+    if "this" in names:
+        raise TypeError_("'this' cannot be a parameter name",
+                         method.line, method.col)

@@ -1,0 +1,40 @@
+"""Token kinds for the MiniJ lexer."""
+
+from __future__ import annotations
+
+# Token kind constants.
+T_EOF = "eof"
+T_IDENT = "ident"
+T_INT = "int_lit"
+T_STRING = "string_lit"
+T_KEYWORD = "keyword"
+T_PUNCT = "punct"
+
+KEYWORDS = frozenset({
+    "class", "extends", "static", "void", "int", "bool", "string",
+    "if", "else", "while", "for", "return", "break", "continue",
+    "new", "null", "this", "true", "false", "super",
+})
+
+# Multi-character punctuation, longest-match-first.
+PUNCT_2PLUS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "++", "--",
+)
+PUNCT_1 = "+-*/%<>=!&|^(){}[];,."
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def is_(self, kind: str, text=None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"

@@ -1,0 +1,12 @@
+"""Evaluation harnesses regenerating the paper's tables and figures."""
+
+from .casestudies import (CaseStudyResult, format_case_studies,
+                          run_all_case_studies, run_case_study)
+from .table1 import (Table1Row, format_table1, generate_table1,
+                     profile_workload)
+
+__all__ = [
+    "Table1Row", "generate_table1", "format_table1", "profile_workload",
+    "CaseStudyResult", "run_case_study", "run_all_case_studies",
+    "format_case_studies",
+]

@@ -1,0 +1,25 @@
+"""Abstract dynamic thin slicing: Gcost construction and the generic
+bounded-domain slicing framework."""
+
+from .base import TracerBase
+from .context import (average_conflict_ratio, conflict_ratio, context_slot,
+                      extend_context)
+from .domains import AbstractThinSlicer
+from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
+                    EFFECT_STORE, F_ALLOC, F_CONSUMER, F_HEAP_READ,
+                    F_HEAP_WRITE, F_NATIVE, F_PREDICATE, DependenceGraph)
+from .serialize import (graph_from_dict, graph_to_dict, load_graph,
+                        load_graph_with_meta, save_graph)
+from .tracker import CostTracker
+
+__all__ = [
+    "TracerBase", "CostTracker", "AbstractThinSlicer", "DependenceGraph",
+    "extend_context", "context_slot", "conflict_ratio",
+    "average_conflict_ratio",
+    "CONTEXTLESS", "ELM",
+    "EFFECT_ALLOC", "EFFECT_LOAD", "EFFECT_STORE",
+    "F_ALLOC", "F_CONSUMER", "F_HEAP_READ", "F_HEAP_WRITE", "F_NATIVE",
+    "F_PREDICATE",
+    "graph_to_dict", "graph_from_dict", "save_graph", "load_graph",
+    "load_graph_with_meta",
+]

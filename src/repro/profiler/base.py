@@ -1,0 +1,62 @@
+"""Base tracer: the VM instrumentation protocol with no-op defaults.
+
+Concrete trackers (the cost tracker and the client-analysis trackers)
+subclass this and override the hooks they need.  See
+:mod:`repro.vm.interpreter` for when each hook fires.
+"""
+
+from __future__ import annotations
+
+
+class TracerBase:
+    """No-op implementation of every VM hook."""
+
+    def __init__(self):
+        self.enabled = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_entry_frame(self, frame):
+        """Called once for the entry method's frame before execution."""
+
+    def on_phase(self, name: str):
+        """Called on Sys.phase(name); fires even while disabled."""
+
+    # -- plain instructions --------------------------------------------------
+
+    def trace_instr(self, instr, frame):
+        pass
+
+    # -- heap ------------------------------------------------------------------
+
+    def trace_new_object(self, instr, frame, obj):
+        pass
+
+    def trace_new_array(self, instr, frame, arr):
+        pass
+
+    def trace_load_field(self, instr, frame, obj):
+        pass
+
+    def trace_store_field(self, instr, frame, obj, value):
+        pass
+
+    def trace_array_load(self, instr, frame, arr, idx):
+        pass
+
+    def trace_array_store(self, instr, frame, arr, idx, value):
+        pass
+
+    # -- calls --------------------------------------------------------------------
+
+    def trace_call(self, instr, caller_frame, callee_frame, recv_obj):
+        pass
+
+    def trace_return(self, instr, frame):
+        pass
+
+    def trace_call_complete(self, instr, caller_frame):
+        pass
+
+    def trace_native(self, instr, frame):
+        pass

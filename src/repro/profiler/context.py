@@ -1,0 +1,69 @@
+"""Object-sensitive context encoding (§2.3 of the paper).
+
+A calling context is the chain of allocation sites of the receiver
+objects on the call stack (object sensitivity).  Chains are encoded into
+a probabilistically unique integer with the function from Bond &
+McKinley's probabilistic calling context (adapted by the paper)::
+
+    g_i = 3 * g_{i-1} + o_i
+
+where ``o_i`` is the allocation-site id of the i-th receiver.  Static
+calls leave the chain unchanged ("concatenating ... or an empty string
+if the current method is static").
+
+The encoded value is reduced to one of ``s`` slots with ``mod`` — the
+bounded abstract domain D_cost = {0, ..., s-1}.  The *context conflict
+ratio* (CR) measures how many distinct contexts collide in a slot::
+
+    CR-s(i) = 0                                   if max_j dc[j] == 1
+              max_j dc[j] / sum_j dc[j]           otherwise
+
+where dc[j] is the number of distinct contexts of instruction ``i``
+falling into slot j.  CR is 0 when every slot holds at most one context
+and 1 when all contexts share one slot.
+"""
+
+from __future__ import annotations
+
+
+def extend_context(g: int, alloc_site: int) -> int:
+    """Encode pushing ``alloc_site`` onto the receiver chain ``g``.
+
+    Kept unbounded (Python int) for exactness; only the slot reduction
+    below is lossy, as in the paper.
+    """
+    return (3 * g + alloc_site) & 0xFFFFFFFFFFFFFFFF
+
+
+def context_slot(g: int, slots: int) -> int:
+    """Reduce an encoded chain to a slot in [0, slots)."""
+    return g % slots
+
+
+def conflict_ratio(slot_contexts) -> float:
+    """CR for one instruction.
+
+    ``slot_contexts`` maps slot -> set of distinct encoded contexts that
+    were observed in that slot.
+    """
+    if not slot_contexts:
+        return 0.0
+    counts = [len(contexts) for contexts in slot_contexts.values()
+              if contexts]
+    if not counts:
+        return 0.0
+    biggest = max(counts)
+    if biggest <= 1:
+        return 0.0
+    return biggest / sum(counts)
+
+
+def average_conflict_ratio(per_instruction) -> float:
+    """Mean CR over all instructions (the CR column of Table 1).
+
+    ``per_instruction`` maps iid -> {slot: set of contexts}.
+    """
+    if not per_instruction:
+        return 0.0
+    total = sum(conflict_ratio(slots) for slots in per_instruction.values())
+    return total / len(per_instruction)

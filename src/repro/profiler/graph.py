@@ -1,0 +1,225 @@
+"""The abstract thin data dependence graph (Definition 2), aka Gcost.
+
+Nodes are abstractions of instruction instances: ``(iid, d)`` where
+``iid`` is the static instruction and ``d`` the element of the bounded
+abstract domain (for the cost graph, the encoded-context slot).
+Predicate and native nodes are contextless (``d = CONTEXTLESS``).
+
+Besides def-use edges the graph carries the paper's auxiliary
+structure:
+
+* node flags marking allocations (``U``, underlined in the paper's
+  figures), heap reads (``C``, circled), heap writes (``B``, boxed),
+  predicates, and natives;
+* heap effects ``(kind, alloc_key, field)`` per node, where
+  ``alloc_key = (alloc_iid, context_slot)`` is the context-annotated
+  allocation site;
+* *reference edges* from a store node to the node that allocated the
+  base object (used to aggregate field costs into object and data-
+  structure costs);
+* a points-to summary (``alloc_key.field -> {target alloc_key}``) used
+  to build object reference trees for n-RAC / n-RAB (Definition 7).
+"""
+
+from __future__ import annotations
+
+import sys
+
+# Node flags.
+F_ALLOC = 1        # 'U' — allocates an object or array
+F_HEAP_READ = 2    # 'C' — reads an object field / array element / static
+F_HEAP_WRITE = 4   # 'B' — writes an object field / array element / static
+F_PREDICATE = 8    # consumer: control-flow decision
+F_NATIVE = 16      # consumer: value leaves the program (output)
+
+F_CONSUMER = F_PREDICATE | F_NATIVE
+
+#: Pseudo-context for contextless nodes (predicates and natives).
+CONTEXTLESS = -1
+
+#: Pseudo-field name for array element effects.
+ELM = "ELM"
+
+# Heap effect kinds.
+EFFECT_ALLOC = "U"
+EFFECT_STORE = "B"
+EFFECT_LOAD = "C"
+
+
+class DependenceGraph:
+    """Gcost and its client-analysis cousins."""
+
+    def __init__(self, slots: int = 16):
+        self.slots = slots
+        self.node_keys = []    # node id -> (iid, d)
+        self.freq = []         # node id -> execution frequency
+        self.flags = []        # node id -> flag bitmask
+        self.preds = []        # node id -> set of predecessor node ids
+        self.succs = []        # node id -> set of successor node ids
+        self.effects = {}      # node id -> (kind, alloc_key, field)
+        self.ref_edges = set()       # (store node id, alloc node id)
+        self.points_to = {}          # alloc_key -> {field: {alloc_key}}
+        #: node id -> {predicate node ids} it is control-dependent on
+        #: (nearest enclosing decision; populated only when the tracker
+        #: runs with track_control=True).
+        self.control_deps = {}
+        self._ids = {}         # (iid, d) -> node id
+        self._edge_count = 0
+
+    # -- construction -------------------------------------------------------
+
+    def node(self, iid: int, d: int, flag: int = 0) -> int:
+        """Get-or-create the node for ``(iid, d)``; bumps its frequency."""
+        key = (iid, d)
+        node_id = self._ids.get(key)
+        if node_id is None:
+            node_id = len(self.node_keys)
+            self._ids[key] = node_id
+            self.node_keys.append(key)
+            self.freq.append(1)
+            self.flags.append(flag)
+            self.preds.append(set())
+            self.succs.append(set())
+        else:
+            self.freq[node_id] += 1
+            if flag:
+                self.flags[node_id] |= flag
+        return node_id
+
+    def find(self, iid: int, d: int):
+        """Node id for ``(iid, d)`` or None; does not create or bump."""
+        return self._ids.get((iid, d))
+
+    def add_edge(self, src: int, dst: int):
+        """Def-use edge: ``src`` wrote a location that ``dst`` reads."""
+        succs = self.succs[src]
+        if dst not in succs:
+            succs.add(dst)
+            self.preds[dst].add(src)
+            self._edge_count += 1
+
+    def add_ref_edge(self, store_node: int, alloc_node: int):
+        self.ref_edges.add((store_node, alloc_node))
+
+    def add_points_to(self, base_key, field: str, target_key):
+        fields = self.points_to.setdefault(base_key, {})
+        fields.setdefault(field, set()).add(target_key)
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_keys)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def is_consumer(self, node_id: int) -> bool:
+        return bool(self.flags[node_id] & F_CONSUMER)
+
+    def nodes_with_flag(self, flag: int):
+        return [n for n, f in enumerate(self.flags) if f & flag]
+
+    def total_frequency(self) -> int:
+        return sum(self.freq)
+
+    # -- grouping used by the relative cost-benefit analysis -------------------
+
+    def field_stores(self):
+        """(alloc_key, field) -> [store node ids]."""
+        groups = {}
+        for node_id, (kind, alloc_key, field) in self.effects.items():
+            if kind == EFFECT_STORE and alloc_key is not None:
+                groups.setdefault((alloc_key, field), []).append(node_id)
+        return groups
+
+    def field_loads(self):
+        """(alloc_key, field) -> [load node ids]."""
+        groups = {}
+        for node_id, (kind, alloc_key, field) in self.effects.items():
+            if kind == EFFECT_LOAD and alloc_key is not None:
+                groups.setdefault((alloc_key, field), []).append(node_id)
+        return groups
+
+    def alloc_nodes(self):
+        """alloc_key -> allocation node id."""
+        allocs = {}
+        for node_id, (kind, alloc_key, _) in self.effects.items():
+            if kind == EFFECT_ALLOC:
+                allocs[alloc_key] = node_id
+        return allocs
+
+    # -- traversals (building blocks for the analyses) ---------------------------
+
+    def backward_reachable(self, start: int, stop_flags: int = 0):
+        """All nodes backward-reachable from ``start`` (inclusive).
+
+        Nodes carrying ``stop_flags`` terminate the traversal and are
+        *excluded* — with ``stop_flags=F_HEAP_READ`` this yields exactly
+        the node set of the HRAC (Definition 5): paths may not pass
+        through a node that reads from a static or object field.  The
+        start node itself is always included.
+        """
+        visited = {start}
+        worklist = [start]
+        preds = self.preds
+        flags = self.flags
+        while worklist:
+            node_id = worklist.pop()
+            for pred in preds[node_id]:
+                if pred in visited:
+                    continue
+                if flags[pred] & stop_flags:
+                    continue
+                visited.add(pred)
+                worklist.append(pred)
+        return visited
+
+    def forward_reachable(self, start: int, stop_flags: int = 0):
+        """Dual of :meth:`backward_reachable` along successor edges."""
+        visited = {start}
+        worklist = [start]
+        succs = self.succs
+        flags = self.flags
+        while worklist:
+            node_id = worklist.pop()
+            for succ in succs[node_id]:
+                if succ in visited:
+                    continue
+                if flags[succ] & stop_flags:
+                    continue
+                visited.add(succ)
+                worklist.append(succ)
+        return visited
+
+    # -- reporting ---------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the graph structures."""
+        total = sys.getsizeof(self.node_keys)
+        total += sys.getsizeof(self.freq)
+        total += sys.getsizeof(self.flags)
+        total += sum(sys.getsizeof(s) for s in self.preds)
+        total += sum(sys.getsizeof(s) for s in self.succs)
+        total += sys.getsizeof(self.preds) + sys.getsizeof(self.succs)
+        total += sys.getsizeof(self.effects)
+        total += sys.getsizeof(self.ref_edges)
+        total += sys.getsizeof(self._ids)
+        total += sys.getsizeof(self.points_to)
+        # Keys/values are small tuples/ints; approximate with a flat
+        # per-entry charge rather than walking every element.
+        total += 64 * len(self.effects)
+        total += 48 * len(self._ids)
+        total += 48 * len(self.ref_edges)
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "ref_edges": len(self.ref_edges),
+            "memory_bytes": self.memory_bytes(),
+            "total_frequency": self.total_frequency(),
+            "consumers": sum(1 for f in self.flags if f & F_CONSUMER),
+        }

@@ -1,0 +1,93 @@
+"""Gcost serialization — the paper's offline-analysis workflow.
+
+§3.2: "these analyses ... could be easily migrated to an offline heap
+analysis tool ... the JVM only needs to write Gcost to external
+storage."  These helpers round-trip a :class:`DependenceGraph` through
+a JSON document so a profiled run can be analyzed later (or elsewhere)
+without re-executing the program.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .graph import DependenceGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: DependenceGraph, meta=None) -> dict:
+    """A JSON-serializable snapshot of the graph.
+
+    ``meta`` carries run facts the graph itself doesn't hold (e.g.
+    ``{"instructions": vm.instr_count}``) so offline analyses can
+    compute trace-relative metrics like IPD.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "meta": dict(meta) if meta else {},
+        "slots": graph.slots,
+        "nodes": [list(key) for key in graph.node_keys],
+        "freq": list(graph.freq),
+        "flags": list(graph.flags),
+        "edges": [[src, dst]
+                  for src, succs in enumerate(graph.succs)
+                  for dst in sorted(succs)],
+        "effects": [[node, kind, list(alloc_key) if alloc_key else None,
+                     field]
+                    for node, (kind, alloc_key, field)
+                    in sorted(graph.effects.items())],
+        "ref_edges": sorted([store, alloc]
+                            for store, alloc in graph.ref_edges),
+        "points_to": [[list(base), field,
+                       sorted(list(t) for t in targets)]
+                      for base, fields in sorted(graph.points_to.items())
+                      for field, targets in sorted(fields.items())],
+        "control_deps": [[node, sorted(preds)]
+                         for node, preds
+                         in sorted(graph.control_deps.items())],
+    }
+
+
+def graph_from_dict(data: dict) -> DependenceGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    graph = DependenceGraph(slots=data.get("slots", 16))
+    for (iid, d), freq, flags in zip(data["nodes"], data["freq"],
+                                     data["flags"]):
+        node = graph.node(iid, d, flags)
+        graph.freq[node] = freq
+    for src, dst in data["edges"]:
+        graph.add_edge(src, dst)
+    for node, kind, alloc_key, field in data["effects"]:
+        key = tuple(alloc_key) if alloc_key is not None else None
+        graph.effects[node] = (kind, key, field)
+    for store, alloc in data["ref_edges"]:
+        graph.add_ref_edge(store, alloc)
+    for base, field, targets in data["points_to"]:
+        for target in targets:
+            graph.add_points_to(tuple(base), field, tuple(target))
+    for node, preds in data.get("control_deps", []):
+        graph.control_deps[node] = set(preds)
+    return graph
+
+
+def save_graph(graph: DependenceGraph, path, meta=None) -> None:
+    """Write the graph (and optional run metadata) to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph, meta), handle)
+
+
+def load_graph_with_meta(path):
+    """Read (graph, meta) from a file written by :func:`save_graph`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return graph_from_dict(data), data.get("meta", {})
+
+
+def load_graph(path) -> DependenceGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))

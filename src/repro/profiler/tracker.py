@@ -1,0 +1,369 @@
+"""Online construction of Gcost — the paper's Figure 4 inference rules.
+
+The :class:`CostTracker` plugs into the VM as a tracer.  Per executed
+instruction it
+
+* maps the instance to its abstract node ``(iid, h(context))`` where the
+  context is the receiver-object allocation-site chain (rule METHOD
+  ENTRY maintains the chain; ``h`` is ``extend_context`` + mod-slots),
+* adds def-use edges from the nodes stored in the shadow locations of
+  the operands it *uses* (thin slicing: base pointers of field accesses
+  are not used; array indices are),
+* updates the shadow location of the definition (environment ``S``),
+* records heap effects and object tags (environments ``H`` and ``P``,
+  rules ALLOC / LOAD FIELD / STORE FIELD),
+* adds reference edges between field stores and the context-matching
+  allocation node (pruning spurious edges exactly as rule ALLOC's
+  context-annotated tags do),
+* passes dependences across calls via per-frame shadow maps (the
+  tracking stack ``T`` of rules METHOD ENTRY / RETURN).
+
+Tracking can be restricted to named execution phases (``Sys.phase``),
+reproducing §4.1's reduced-overhead mode.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from .base import TracerBase
+from .context import average_conflict_ratio, context_slot, extend_context
+from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
+                    EFFECT_STORE, F_ALLOC, F_HEAP_READ, F_HEAP_WRITE,
+                    F_NATIVE, F_PREDICATE, DependenceGraph)
+
+
+class CostTracker(TracerBase):
+    """Builds the abstract thin data dependence graph online.
+
+    Parameters
+    ----------
+    slots:
+        Size ``s`` of the bounded context domain (8 or 16 in the paper).
+    phases:
+        If given, tracking is active only while the VM is inside one of
+        these phases (names passed to ``Sys.phase``).  The program
+        starts in phase ``"main"``.
+    track_cr:
+        Record distinct encoded contexts per node for the context
+        conflict ratio statistic.  Costs a set insertion per instruction.
+    """
+
+    def __init__(self, slots: int = 16, phases=None, track_cr: bool = True,
+                 track_control: bool = False):
+        super().__init__()
+        self.slots = slots
+        #: Record nearest-enclosing-predicate control dependences for
+        #: the control-inclusive cost ablation (§3.2).
+        self.track_control = track_control
+        self.graph = DependenceGraph(slots)
+        self.phases = frozenset(phases) if phases is not None else None
+        self.enabled = self.phases is None or "main" in self.phases
+        self.track_cr = track_cr
+        self._static_shadow = {}   # (class, field) -> node id
+        self._node_gs = []         # node id -> set of encoded contexts
+        self._ret_node = None      # shadow of the value being returned
+        #: branch iid -> [times taken, times not taken]; consumed by the
+        #: always-true/always-false predicate client (§3.2).
+        self.branch_outcomes = {}
+        #: return-instruction iid -> {nodes that produced returned
+        #: values}; consumed by the method-level return-cost client.
+        self.return_nodes = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_phase(self, name: str):
+        if self.phases is not None:
+            self.enabled = name in self.phases
+
+    def on_entry_frame(self, frame):
+        frame.shadow = {}
+        frame.g = 0
+        frame.dctx = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def _shadow(self, frame):
+        shadow = frame.shadow
+        if shadow is None:
+            shadow = frame.shadow = {}
+        return shadow
+
+    def _node(self, iid: int, dctx: int, g: int, flag: int = 0) -> int:
+        """Context-annotated node, with CR bookkeeping."""
+        graph = self.graph
+        node_id = graph.node(iid, dctx, flag)
+        if self.track_cr:
+            gs = self._node_gs
+            while len(gs) <= node_id:
+                gs.append(None)
+            if gs[node_id] is None:
+                gs[node_id] = {g}
+            else:
+                gs[node_id].add(g)
+        return node_id
+
+    def _control(self, node, frame):
+        """Record the nearest enclosing predicate (control ablation)."""
+        pred = frame.last_pred
+        if pred is None:
+            return
+        deps = self.graph.control_deps.get(node)
+        if deps is None:
+            self.graph.control_deps[node] = {pred}
+        else:
+            deps.add(pred)
+
+    @staticmethod
+    def _tag(obj):
+        tag = obj.tag
+        if tag is None:
+            # Allocated while tracking was disabled: context unknown.
+            tag = obj.tag = (obj.site, CONTEXTLESS)
+        return tag
+
+    # -- plain instructions ------------------------------------------------------
+
+    def trace_instr(self, instr, frame):
+        op = instr.op
+        graph = self.graph
+        shadow = self._shadow(frame)
+
+        if op == ins.OP_BRANCH:
+            # Predicate consumer node, contextless (rule PREDICATE).
+            node = graph.node(instr.iid, CONTEXTLESS, F_PREDICATE)
+            src = shadow.get(instr.cond)
+            if src is not None:
+                graph.add_edge(src, node)
+            outcomes = self.branch_outcomes.get(instr.iid)
+            if outcomes is None:
+                outcomes = self.branch_outcomes[instr.iid] = [0, 0]
+            outcomes[0 if frame.regs[instr.cond] else 1] += 1
+            if self.track_control:
+                frame.last_pred = node
+            return
+
+        node = self._node(instr.iid, frame.dctx, frame.g)
+        if self.track_control:
+            self._control(node, frame)
+
+        if op == ins.OP_CONST:
+            shadow[instr.dest] = node
+        elif op == ins.OP_MOVE:
+            src = shadow.get(instr.src)
+            if src is not None:
+                graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_BINOP:
+            src = shadow.get(instr.lhs)
+            if src is not None:
+                graph.add_edge(src, node)
+            src = shadow.get(instr.rhs)
+            if src is not None:
+                graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_UNOP:
+            src = shadow.get(instr.src)
+            if src is not None:
+                graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_INTRINSIC:
+            for arg in instr.args:
+                src = shadow.get(arg)
+                if src is not None:
+                    graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_ARRAY_LEN:
+            # Array length is metadata carried by the array *value*
+            # (fixed at allocation), not ELM contents: a plain
+            # computation reading the reference, not a heap read.
+            src = shadow.get(instr.arr)
+            if src is not None:
+                graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_LOAD_STATIC:
+            graph.flags[node] |= F_HEAP_READ
+            src = self._static_shadow.get((instr.class_name, instr.field))
+            if src is not None:
+                graph.add_edge(src, node)
+            shadow[instr.dest] = node
+        elif op == ins.OP_STORE_STATIC:
+            graph.flags[node] |= F_HEAP_WRITE
+            src = shadow.get(instr.src)
+            if src is not None:
+                graph.add_edge(src, node)
+            self._static_shadow[(instr.class_name, instr.field)] = node
+
+    # -- allocations ----------------------------------------------------------------
+
+    def trace_new_object(self, instr, frame, obj):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_ALLOC)
+        if self.track_control:
+            self._control(node, frame)
+        alloc_key = (instr.iid, frame.dctx)
+        self.graph.effects[node] = (EFFECT_ALLOC, alloc_key, None)
+        obj.tag = alloc_key
+        obj.shadow = {}
+        self._shadow(frame)[instr.dest] = node
+
+    def trace_new_array(self, instr, frame, arr):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_ALLOC)
+        if self.track_control:
+            self._control(node, frame)
+        alloc_key = (instr.iid, frame.dctx)
+        self.graph.effects[node] = (EFFECT_ALLOC, alloc_key, None)
+        arr.tag = alloc_key
+        arr.shadow = {}
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.size)
+        if src is not None:
+            self.graph.add_edge(src, node)
+        shadow[instr.dest] = node
+
+    # -- field and array accesses ------------------------------------------------------
+
+    def trace_load_field(self, instr, frame, obj):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_READ)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        tag = self._tag(obj)
+        graph.effects[node] = (EFFECT_LOAD, tag, instr.field)
+        obj_shadow = obj.shadow
+        if obj_shadow is not None:
+            src = obj_shadow.get(instr.field)
+            if src is not None:
+                graph.add_edge(src, node)
+        self._shadow(frame)[instr.dest] = node
+
+    def trace_store_field(self, instr, frame, obj, value):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_WRITE)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        tag = self._tag(obj)
+        graph.effects[node] = (EFFECT_STORE, tag, instr.field)
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.src)
+        if src is not None:
+            graph.add_edge(src, node)
+        if obj.shadow is None:
+            obj.shadow = {}
+        obj.shadow[instr.field] = node
+        # Reference edge to the context-matching allocation node.
+        alloc_node = graph.find(tag[0], tag[1])
+        if alloc_node is not None:
+            graph.add_ref_edge(node, alloc_node)
+        # Points-to summary for reference trees (Definition 7).
+        if value is not None and not isinstance(value, (int, str)):
+            graph.add_points_to(tag, instr.field, self._tag(value))
+
+    def trace_array_load(self, instr, frame, arr, idx):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_READ)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        tag = self._tag(arr)
+        graph.effects[node] = (EFFECT_LOAD, tag, ELM)
+        shadow = self._shadow(frame)
+        arr_shadow = arr.shadow
+        if arr_shadow is not None:
+            src = arr_shadow.get(idx)
+            if src is not None:
+                graph.add_edge(src, node)
+        # The index is a use ("the index used to locate the element is
+        # still considered to be used").
+        src = shadow.get(instr.idx)
+        if src is not None:
+            graph.add_edge(src, node)
+        shadow[instr.dest] = node
+
+    def trace_array_store(self, instr, frame, arr, idx, value):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_WRITE)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        tag = self._tag(arr)
+        graph.effects[node] = (EFFECT_STORE, tag, ELM)
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.src)
+        if src is not None:
+            graph.add_edge(src, node)
+        src = shadow.get(instr.idx)
+        if src is not None:
+            graph.add_edge(src, node)
+        if arr.shadow is None:
+            arr.shadow = {}
+        arr.shadow[idx] = node
+        alloc_node = graph.find(tag[0], tag[1])
+        if alloc_node is not None:
+            graph.add_ref_edge(node, alloc_node)
+        if value is not None and not isinstance(value, (int, str)):
+            graph.add_points_to(tag, ELM, self._tag(value))
+
+    # -- calls ------------------------------------------------------------------------
+
+    def trace_call(self, instr, caller_frame, callee_frame, recv_obj):
+        caller_shadow = self._shadow(caller_frame)
+        callee_shadow = {}
+        target = callee_frame.method
+        for (name, _), arg_reg in zip(target.params, instr.args):
+            src = caller_shadow.get(arg_reg)
+            if src is not None:
+                callee_shadow[name] = src
+        if recv_obj is not None and instr.recv is not None:
+            src = caller_shadow.get(instr.recv)
+            if src is not None:
+                callee_shadow["this"] = src
+        callee_frame.shadow = callee_shadow
+        # Rule METHOD ENTRY: extend the receiver chain for instance
+        # methods; static methods inherit the caller's chain unchanged.
+        if recv_obj is not None:
+            g = extend_context(caller_frame.g, recv_obj.site)
+        else:
+            g = caller_frame.g
+        callee_frame.g = g
+        callee_frame.dctx = context_slot(g, self.slots)
+        if self.track_control:
+            callee_frame.last_pred = caller_frame.last_pred
+
+    def trace_return(self, instr, frame):
+        if instr.src is not None:
+            node = self._shadow(frame).get(instr.src)
+            self._ret_node = node
+            if node is not None:
+                nodes = self.return_nodes.get(instr.iid)
+                if nodes is None:
+                    nodes = self.return_nodes[instr.iid] = set()
+                nodes.add(node)
+        else:
+            self._ret_node = None
+
+    def trace_call_complete(self, instr, caller_frame):
+        if instr.dest is not None and self._ret_node is not None:
+            self._shadow(caller_frame)[instr.dest] = self._ret_node
+        self._ret_node = None
+
+    # -- natives ------------------------------------------------------------------------
+
+    def trace_native(self, instr, frame):
+        node = self.graph.node(instr.iid, CONTEXTLESS, F_NATIVE)
+        shadow = self._shadow(frame)
+        graph = self.graph
+        for arg in instr.args:
+            src = shadow.get(arg)
+            if src is not None:
+                graph.add_edge(src, node)
+        if instr.dest is not None:
+            shadow[instr.dest] = node
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def conflict_ratio(self) -> float:
+        """Average CR over context-annotated instructions (Table 1)."""
+        per_instruction = {}
+        for node_id, gs in enumerate(self._node_gs):
+            if gs is None:
+                continue
+            iid, dctx = self.graph.node_keys[node_id]
+            per_instruction.setdefault(iid, {})[dctx] = gs
+        return average_conflict_ratio(per_instruction)

@@ -1,0 +1,73 @@
+"""MiniJ standard library loader.
+
+Library classes are written in MiniJ (``*.mj`` files in this package)
+so their instructions are tracked exactly like application code — the
+paper's reference-chain depth choice (n = 4) exists precisely because
+JDK collection internals carry much of a data structure's cost, and the
+same is true here.
+
+Use :func:`stdlib_source` to fetch module text, or
+:func:`compile_with_stdlib` to compile user source together with the
+modules it needs (user source comes first so its line numbers are
+stable for diagnostics).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..lang import compile_source
+
+_HERE = Path(__file__).parent
+
+#: Module name -> file name.
+MODULES = {
+    "util": "util.mj",
+    "strings": "strings.mj",
+    "intlist": "intlist.mj",
+    "strlist": "strlist.mj",
+    "strbuilder": "strbuilder.mj",
+    "intmap": "intmap.mj",
+    "intset": "intset.mj",
+    "strmap": "strmap.mj",
+    "file": "file.mj",
+}
+
+ALL_MODULES = tuple(MODULES)
+
+#: Inter-module dependencies, resolved automatically by stdlib_source.
+DEPENDENCIES = {
+    "strmap": ("strings",),
+    "intset": ("intmap",),
+}
+
+
+def stdlib_source(*names: str) -> str:
+    """Concatenated source of the requested stdlib modules.
+
+    Dependencies are pulled in automatically; each module appears once,
+    in registry order, so the output is deterministic.
+    """
+    wanted = set()
+    worklist = list(names)
+    while worklist:
+        name = worklist.pop()
+        if name not in MODULES:
+            raise KeyError(
+                f"unknown stdlib module {name!r}; available: "
+                f"{sorted(MODULES)}")
+        if name in wanted:
+            continue
+        wanted.add(name)
+        worklist.extend(DEPENDENCIES.get(name, ()))
+    chunks = [(_HERE / MODULES[name]).read_text()
+              for name in MODULES if name in wanted]
+    return "\n".join(chunks)
+
+
+def compile_with_stdlib(source: str, modules=ALL_MODULES,
+                        entry_class: str = "Main",
+                        entry_method: str = "main"):
+    """Compile user source plus the named stdlib modules."""
+    full = source + "\n" + stdlib_source(*modules)
+    return compile_source(full, entry_class, entry_method)

@@ -1,0 +1,15 @@
+"""MiniJ virtual machine: heap, frames, natives, interpreter."""
+
+from .errors import (VMArithmeticError, VMBoundsError, VMError, VMLimitError,
+                     VMNullError, VMTypestateError)
+from .frames import Frame
+from .heap import Heap
+from .interpreter import VM, run_program
+from .values import ArrayObject, HeapObject, default_value, render_value
+
+__all__ = [
+    "VM", "run_program", "Frame", "Heap",
+    "ArrayObject", "HeapObject", "default_value", "render_value",
+    "VMError", "VMNullError", "VMBoundsError", "VMArithmeticError",
+    "VMLimitError", "VMTypestateError",
+]

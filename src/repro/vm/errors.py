@@ -1,0 +1,50 @@
+"""Runtime errors raised by the MiniJ VM.
+
+Each error carries the faulting instruction and the active frame so that
+diagnostic clients (e.g. the null-propagation analysis of Figure 2a) can
+start their backward traversal from the exact failure point.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for runtime failures of the interpreted program."""
+
+    def __init__(self, message: str, instr=None, frame=None):
+        super().__init__(message)
+        self.instr = instr
+        self.frame = frame
+
+    @property
+    def where(self) -> str:
+        if self.frame is None or self.instr is None:
+            return "?"
+        return (f"{self.frame.method.qualified_name} "
+                f"(line {self.instr.line}, iid {self.instr.iid})")
+
+
+class VMNullError(VMError):
+    """Null dereference (Java NullPointerException analogue)."""
+
+
+class VMBoundsError(VMError):
+    """Array or string index out of bounds."""
+
+
+class VMArithmeticError(VMError):
+    """Division or modulo by zero."""
+
+
+class VMLimitError(VMError):
+    """Execution exceeded the configured instruction budget."""
+
+
+class VMTypestateError(VMError):
+    """Raised by the typestate client when a protocol is violated."""
+
+    def __init__(self, message: str, instr=None, frame=None, history=None):
+        super().__init__(message, instr, frame)
+        #: Recorded event history (list of (method, state_before)) from
+        #: the typestate tracker, when available.
+        self.history = history or []

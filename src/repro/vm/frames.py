@@ -1,0 +1,37 @@
+"""Call-stack frames.
+
+A frame holds the register file for one activation.  The profiler
+attaches two pieces of state per frame:
+
+* ``shadow`` — the paper's environment ``S`` restricted to this frame's
+  registers (register name -> dependence-graph node id),
+* ``g`` — the encoded receiver-object context chain for this activation
+  (the paper's ``objCon`` value before the mod-``s`` reduction), and
+  ``dctx`` — its slot in the bounded domain.
+"""
+
+from __future__ import annotations
+
+
+class Frame:
+    __slots__ = ("method", "regs", "pc", "dest", "call_instr",
+                 "shadow", "g", "dctx", "last_pred")
+
+    def __init__(self, method, dest=None, call_instr=None):
+        self.method = method
+        self.regs = {}
+        self.pc = 0
+        #: Register in the *caller* frame receiving our return value.
+        self.dest = dest
+        #: The Call instruction that created this frame (None for entry).
+        self.call_instr = call_instr
+        # Profiler state (set by the tracker when tracking is enabled).
+        self.shadow = None
+        self.g = 0
+        self.dctx = 0
+        #: Nearest enclosing predicate node (control-dependence hint),
+        #: maintained by trackers running with track_control=True.
+        self.last_pred = None
+
+    def __repr__(self):
+        return f"<frame {self.method.qualified_name} pc={self.pc}>"

@@ -1,0 +1,505 @@
+"""The MiniJ virtual machine: a three-address-code interpreter.
+
+The VM executes a finalized :class:`~repro.ir.module.Program`.  Every
+executed instruction counts one unit of cost (``instr_count``), matching
+the paper's cost model ("each instruction is treated as having unit
+cost").
+
+Instrumentation
+---------------
+
+A *tracer* (normally :class:`repro.profiler.tracker.CostTracker` or one
+of the client-analysis trackers) receives a callback for each executed
+instruction.  The hook protocol:
+
+===============================  ============================================
+hook                             fired for
+===============================  ============================================
+``trace_instr(i, f)``            const / move / binop / unop / intrinsic /
+                                 branch / load_static / store_static /
+                                 array_len
+``trace_new_object(i, f, o)``    NewObject, after allocation
+``trace_new_array(i, f, a)``     NewArray, after allocation
+``trace_load_field(i, f, o)``    LoadField, after the read
+``trace_store_field(i, f, o,
+v)``                             StoreField, after the write
+``trace_array_load(i, f, a,
+idx)``                           ArrayLoad, after the read
+``trace_array_store(i, f, a,
+idx, v)``                        ArrayStore, after the write
+``trace_call(i, cf, nf, recv)``  Call, after the callee frame is built
+``trace_return(i, f)``           Return, before the frame pops
+``trace_call_complete(i, f)``    back in the caller, after dest assignment
+``trace_native(i, f)``           CallNative, after the native ran
+``on_phase(name)``               Sys.phase — fired even when disabled
+===============================  ============================================
+
+Tracers expose ``enabled``; when False only ``on_phase`` fires, which is
+how phase-restricted tracking (§4.1) is implemented.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from .errors import (VMArithmeticError, VMBoundsError, VMError, VMLimitError,
+                     VMNullError)
+from .frames import Frame
+from .heap import Heap
+from .natives import lookup_native
+from .values import render_value
+
+
+def _java_div(a: int, b: int) -> int:
+    """Java-style integer division (truncation toward zero)."""
+    q = a // b
+    if q < 0 and q * b != a:
+        q += 1
+    return q
+
+
+def _java_rem(a: int, b: int) -> int:
+    """Java-style remainder: a - (a/b)*b, sign follows the dividend."""
+    return a - _java_div(a, b) * b
+
+
+def _string_hash(s: str) -> int:
+    """Deterministic Java-compatible string hash."""
+    h = 0
+    for ch in s:
+        h = (31 * h + ord(ch)) & 0xFFFFFFFF
+    # Interpret as signed 32-bit like Java.
+    return h - 0x100000000 if h >= 0x80000000 else h
+
+
+class VM:
+    """Interpreter for finalized MiniJ programs."""
+
+    def __init__(self, program, tracer=None, max_steps: int = 2_000_000_000):
+        if not program.finalized:
+            raise VMError("program must be finalized before execution")
+        self.program = program
+        self.tracer = tracer
+        self.max_steps = max_steps
+        self.heap = Heap()
+        self.output = []          # program output chunks (Sys.print*)
+        self.instr_count = 0      # executed instruction instances (I)
+        self.phase_counts = {}    # phase name -> instruction count
+        self.current_phase = "main"
+        self._phase_started_at = 0
+        self.result = None
+        self.finished = False
+
+    # -- phases ---------------------------------------------------------------
+
+    def enter_phase(self, name: str):
+        """Close the current phase's instruction window and open ``name``."""
+        count = self.instr_count - self._phase_started_at
+        self.phase_counts[self.current_phase] = (
+            self.phase_counts.get(self.current_phase, 0) + count)
+        self.current_phase = name
+        self._phase_started_at = self.instr_count
+        if self.tracer is not None:
+            self.tracer.on_phase(name)
+
+    def _close_phases(self):
+        count = self.instr_count - self._phase_started_at
+        self.phase_counts[self.current_phase] = (
+            self.phase_counts.get(self.current_phase, 0) + count)
+        self._phase_started_at = self.instr_count
+
+    # -- output helpers ----------------------------------------------------------
+
+    def stdout(self) -> str:
+        return "".join(self.output)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> "VM":
+        """Execute from the entry method until it returns."""
+        entry = self.program.entry
+        frame = Frame(entry)
+        stack = [frame]
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.on_entry_frame(frame)
+        max_steps = self.max_steps
+        count = self.instr_count
+
+        while stack:
+            frame = stack[-1]
+            code = frame.method.body
+            regs = frame.regs
+            pc = frame.pc
+            instr = code[pc]
+            op = instr.op
+            count += 1
+            if count > max_steps:
+                self.instr_count = count
+                raise VMLimitError(
+                    f"instruction budget of {max_steps} exceeded",
+                    instr, frame)
+
+            traced = tracer is not None and tracer.enabled
+
+            if op == ins.OP_BINOP:
+                regs[instr.dest] = self._binop(instr, regs, frame)
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_CONST:
+                regs[instr.dest] = instr.value
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_MOVE:
+                regs[instr.dest] = regs[instr.src]
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_BRANCH:
+                frame.pc = (instr.then_index if regs[instr.cond]
+                            else instr.else_index)
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_JUMP:
+                frame.pc = instr.target_index
+
+            elif op == ins.OP_LOAD_FIELD:
+                obj = regs[instr.obj]
+                if obj is None:
+                    self.instr_count = count
+                    raise VMNullError(
+                        f"null dereference reading .{instr.field}",
+                        instr, frame)
+                regs[instr.dest] = obj.fields[instr.field]
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_load_field(instr, frame, obj)
+
+            elif op == ins.OP_STORE_FIELD:
+                obj = regs[instr.obj]
+                if obj is None:
+                    self.instr_count = count
+                    raise VMNullError(
+                        f"null dereference writing .{instr.field}",
+                        instr, frame)
+                value = regs[instr.src]
+                obj.fields[instr.field] = value
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_store_field(instr, frame, obj, value)
+
+            elif op == ins.OP_ARRAY_LOAD:
+                arr = regs[instr.arr]
+                if arr is None:
+                    self.instr_count = count
+                    raise VMNullError("null array load", instr, frame)
+                idx = regs[instr.idx]
+                elems = arr.elems
+                if idx < 0 or idx >= len(elems):
+                    self.instr_count = count
+                    raise VMBoundsError(
+                        f"index {idx} out of bounds for length {len(elems)}",
+                        instr, frame)
+                regs[instr.dest] = elems[idx]
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_array_load(instr, frame, arr, idx)
+
+            elif op == ins.OP_ARRAY_STORE:
+                arr = regs[instr.arr]
+                if arr is None:
+                    self.instr_count = count
+                    raise VMNullError("null array store", instr, frame)
+                idx = regs[instr.idx]
+                elems = arr.elems
+                if idx < 0 or idx >= len(elems):
+                    self.instr_count = count
+                    raise VMBoundsError(
+                        f"index {idx} out of bounds for length {len(elems)}",
+                        instr, frame)
+                value = regs[instr.src]
+                elems[idx] = value
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_array_store(instr, frame, arr, idx, value)
+
+            elif op == ins.OP_ARRAY_LEN:
+                arr = regs[instr.arr]
+                if arr is None:
+                    self.instr_count = count
+                    raise VMNullError("null array length", instr, frame)
+                regs[instr.dest] = len(arr.elems)
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_CALL:
+                frame.pc = pc + 1  # return continues after the call
+                callee_frame, recv_obj = self._make_callee_frame(
+                    instr, frame, count)
+                stack.append(callee_frame)
+                if traced:
+                    tracer.trace_call(instr, frame, callee_frame, recv_obj)
+
+            elif op == ins.OP_RETURN:
+                value = regs[instr.src] if instr.src is not None else None
+                if traced:
+                    tracer.trace_return(instr, frame)
+                stack.pop()
+                if stack:
+                    caller = stack[-1]
+                    call_instr = frame.call_instr
+                    if call_instr.dest is not None:
+                        caller.regs[call_instr.dest] = value
+                    if traced:
+                        tracer.trace_call_complete(call_instr, caller)
+                else:
+                    self.result = value
+
+            elif op == ins.OP_UNOP:
+                src = regs[instr.src]
+                regs[instr.dest] = (-src if instr.unop == ins.UN_NEG
+                                    else not src)
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_INTRINSIC:
+                regs[instr.dest] = self._intrinsic(instr, regs, frame, count)
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_NEW_OBJECT:
+                cls = self.program.classes[instr.class_name]
+                obj = self.heap.new_object(cls, instr.iid)
+                regs[instr.dest] = obj
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_new_object(instr, frame, obj)
+
+            elif op == ins.OP_NEW_ARRAY:
+                length = regs[instr.size]
+                if length < 0:
+                    self.instr_count = count
+                    raise VMBoundsError(
+                        f"negative array size {length}", instr, frame)
+                arr = self.heap.new_array(instr.elem_type, instr.iid, length)
+                regs[instr.dest] = arr
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_new_array(instr, frame, arr)
+
+            elif op == ins.OP_LOAD_STATIC:
+                regs[instr.dest] = self._static_slot(
+                    instr.class_name, instr.field)
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_STORE_STATIC:
+                self._set_static_slot(instr.class_name, instr.field,
+                                      regs[instr.src])
+                frame.pc = pc + 1
+                if traced:
+                    tracer.trace_instr(instr, frame)
+
+            elif op == ins.OP_CALL_NATIVE:
+                self.instr_count = count  # natives may inspect the count
+                native = lookup_native(instr.native)
+                args = [regs[a] for a in instr.args]
+                result = native(self, args)
+                if instr.dest is not None:
+                    regs[instr.dest] = result
+                frame.pc = pc + 1
+                # Re-check: the native may have toggled tracking (phase).
+                if tracer is not None and tracer.enabled:
+                    tracer.trace_native(instr, frame)
+
+            else:  # pragma: no cover - defensive
+                self.instr_count = count
+                raise VMError(f"unknown opcode {op}", instr, frame)
+
+        self.instr_count = count
+        self._close_phases()
+        self.finished = True
+        return self
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _binop(self, instr, regs, frame):
+        a = regs[instr.lhs]
+        b = regs[instr.rhs]
+        op = instr.binop
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        if op == "==":
+            return a is b if _is_ref(a) or _is_ref(b) else a == b
+        if op == "!=":
+            return a is not b if _is_ref(a) or _is_ref(b) else a != b
+        if op == "/":
+            if b == 0:
+                raise VMArithmeticError("division by zero", instr, frame)
+            return _java_div(a, b)
+        if op == "%":
+            if b == 0:
+                raise VMArithmeticError("modulo by zero", instr, frame)
+            return _java_rem(a, b)
+        if op == ins.BIN_CONCAT:
+            return _as_str(a) + _as_str(b)
+        if op == "&":
+            return (a and b) if isinstance(a, bool) else (a & b)
+        if op == "|":
+            return (a or b) if isinstance(a, bool) else (a | b)
+        if op == "^":
+            return (a != b) if isinstance(a, bool) else (a ^ b)
+        if op == "<<":
+            return a << (b & 31)
+        if op == ">>":
+            return a >> (b & 31)
+        raise VMError(f"unknown binary operator {op!r}", instr, frame)
+
+    def _intrinsic(self, instr, regs, frame, count):
+        args = instr.args
+        intr = instr.intr
+        if intr == ins.INTR_SLEN:
+            s = regs[args[0]]
+            if s is None:
+                self.instr_count = count
+                raise VMNullError("length() on null string", instr, frame)
+            return len(s)
+        if intr == ins.INTR_SCHARAT:
+            s = regs[args[0]]
+            if s is None:
+                self.instr_count = count
+                raise VMNullError("charAt() on null string", instr, frame)
+            i = regs[args[1]]
+            if i < 0 or i >= len(s):
+                self.instr_count = count
+                raise VMBoundsError(
+                    f"charAt index {i} out of bounds for length {len(s)}",
+                    instr, frame)
+            return ord(s[i])
+        if intr == ins.INTR_SEQ:
+            return regs[args[0]] == regs[args[1]]
+        if intr == ins.INTR_SHASH:
+            s = regs[args[0]]
+            if s is None:
+                self.instr_count = count
+                raise VMNullError("hash() on null string", instr, frame)
+            return _string_hash(s)
+        if intr == ins.INTR_ITOS:
+            return str(regs[args[0]])
+        if intr == ins.INTR_CHR:
+            return chr(regs[args[0]] & 0x10FFFF)
+        if intr == ins.INTR_SCMP:
+            a = regs[args[0]]
+            b = regs[args[1]]
+            if a is None or b is None:
+                self.instr_count = count
+                raise VMNullError("compare() on null string", instr, frame)
+            return -1 if a < b else (1 if a > b else 0)
+        raise VMError(f"unknown intrinsic {intr!r}", instr, frame)
+
+    def _make_callee_frame(self, instr, frame, count):
+        regs = frame.regs
+        recv_obj = None
+        if instr.kind == ins.CALL_VIRTUAL:
+            recv_obj = regs[instr.recv]
+            if recv_obj is None:
+                self.instr_count = count
+                raise VMNullError(
+                    f"null receiver calling .{instr.method_name}()",
+                    instr, frame)
+            target = recv_obj.cls.vtable.get(instr.method_name)
+            if target is None:
+                self.instr_count = count
+                raise VMError(
+                    f"no method {instr.method_name} on "
+                    f"{recv_obj.cls.name}", instr, frame)
+        else:
+            target = instr.resolved
+            if instr.recv is not None:
+                recv_obj = regs[instr.recv]
+                if recv_obj is None:
+                    self.instr_count = count
+                    raise VMNullError(
+                        f"null receiver calling .{instr.method_name}()",
+                        instr, frame)
+
+        callee = Frame(target, dest=instr.dest, call_instr=instr)
+        callee_regs = callee.regs
+        if recv_obj is not None:
+            callee_regs["this"] = recv_obj
+        for (name, _), arg_reg in zip(target.params, instr.args):
+            callee_regs[name] = regs[arg_reg]
+        return callee, recv_obj
+
+    # -- static fields ---------------------------------------------------------
+
+    def _static_slot(self, class_name: str, field: str):
+        owner = self._static_owner(class_name, field)
+        key = (owner, field)
+        statics = self._statics
+        if key not in statics:
+            fd = self.program.classes[owner].static_fields[field]
+            from .values import default_value
+            statics[key] = default_value(fd.type)
+        return statics[key]
+
+    def _set_static_slot(self, class_name: str, field: str, value):
+        owner = self._static_owner(class_name, field)
+        self._statics[(owner, field)] = value
+
+    def _static_owner(self, class_name: str, field: str) -> str:
+        """Resolve which class in the hierarchy declares the static."""
+        cls = self.program.classes.get(class_name)
+        while cls is not None:
+            if field in cls.static_fields:
+                return cls.name
+            cls = cls.superclass
+        raise VMError(f"unknown static field {class_name}.{field}")
+
+    @property
+    def _statics(self):
+        statics = getattr(self, "_statics_store", None)
+        if statics is None:
+            statics = {}
+            self._statics_store = statics
+        return statics
+
+
+def _is_ref(value) -> bool:
+    """True for heap references (objects/arrays); strings are values."""
+    return value is not None and not isinstance(value, (int, str))
+
+
+def _as_str(value) -> str:
+    """Java-style implicit conversion for string concatenation."""
+    if isinstance(value, str):
+        return value
+    return render_value(value)
+
+
+def run_program(program, tracer=None, max_steps: int = 2_000_000_000) -> VM:
+    """Convenience: build a VM, run it, and return it."""
+    vm = VM(program, tracer=tracer, max_steps=max_steps)
+    vm.run()
+    return vm

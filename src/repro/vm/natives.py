@@ -1,0 +1,73 @@
+"""Native methods provided by the VM.
+
+Natives model the boundary where values leave the program: printing is
+program output (the paper assigns values reaching output infinite
+benefit), and ``Sys.phase`` marks execution phases so tracking can be
+restricted to e.g. a server's steady state (§4.1's 5–10x overhead
+reduction experiment).
+
+In MiniJ source these are reached through the built-in ``Sys`` class::
+
+    Sys.print(s);     Sys.println(s);   Sys.printInt(i);
+    Sys.printBool(b); Sys.phase(name);
+
+The frontend lowers them to ``CallNative`` instructions.
+"""
+
+from __future__ import annotations
+
+from .errors import VMError
+from .values import render_value
+
+#: MiniJ-visible name -> (native key, param count, returns value?)
+SYS_METHODS = {
+    "print": ("print", 1, False),
+    "println": ("println", 1, False),
+    "printInt": ("print_int", 1, False),
+    "printBool": ("print_bool", 1, False),
+    "phase": ("phase", 1, False),
+}
+
+
+def native_print(vm, args):
+    vm.output.append(render_value(args[0]))
+    return None
+
+
+def native_println(vm, args):
+    vm.output.append(render_value(args[0]) + "\n")
+    return None
+
+
+def native_print_int(vm, args):
+    vm.output.append(render_value(args[0]))
+    return None
+
+
+def native_print_bool(vm, args):
+    vm.output.append(render_value(args[0]))
+    return None
+
+
+def native_phase(vm, args):
+    name = args[0]
+    if not isinstance(name, str):
+        raise VMError("Sys.phase expects a string phase name")
+    vm.enter_phase(name)
+    return None
+
+
+NATIVES = {
+    "print": native_print,
+    "println": native_println,
+    "print_int": native_print_int,
+    "print_bool": native_print_bool,
+    "phase": native_phase,
+}
+
+
+def lookup_native(name: str):
+    try:
+        return NATIVES[name]
+    except KeyError:
+        raise VMError(f"unknown native {name!r}") from None

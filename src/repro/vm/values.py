@@ -1,0 +1,83 @@
+"""Runtime value representations.
+
+Primitive values are plain Python objects (``int``, ``bool``, ``str``,
+``None`` for null).  Heap references are :class:`HeapObject` /
+:class:`ArrayObject` instances.
+
+Shadow state (the paper's shadow heap) lives directly on the heap
+objects: ``shadow`` maps a field name (or array index) to the dependence
+graph node that last wrote it, and ``tag`` holds the context-annotated
+allocation site installed by rule ALLOC (the paper's environment ``P``).
+The paper stores both in a 500 MB shadow heap for O(1) access; attaching
+them to the object gives the same semantics in Python.
+"""
+
+from __future__ import annotations
+
+from ..ir.types import Type
+
+
+def default_value(type_: Type):
+    """Java-style default for a freshly allocated field/element."""
+    name = type_.name
+    if name == "int":
+        return 0
+    if name == "bool":
+        return False
+    # strings and references default to null
+    return None
+
+
+class HeapObject:
+    """An instance of a MiniJ class."""
+
+    __slots__ = ("obj_id", "cls", "site", "fields", "shadow", "tag", "state")
+
+    def __init__(self, obj_id: int, cls, site: int):
+        self.obj_id = obj_id
+        self.cls = cls            # ClassDef
+        self.site = site          # allocation-site iid
+        self.fields = {}          # field name -> value
+        self.shadow = None        # field name -> graph node id (lazy dict)
+        self.tag = None           # context-annotated site, set by tracker
+        self.state = None         # typestate tag, used by typestate client
+
+    @property
+    def class_name(self) -> str:
+        return self.cls.name
+
+    def __repr__(self):
+        return f"<{self.cls.name}#{self.obj_id}@{self.site}>"
+
+
+class ArrayObject:
+    """A MiniJ array; elements live in ``elems``."""
+
+    __slots__ = ("obj_id", "elem_type", "site", "elems", "shadow", "tag")
+
+    def __init__(self, obj_id: int, elem_type: Type, site: int, length: int):
+        self.obj_id = obj_id
+        self.elem_type = elem_type
+        self.site = site
+        self.elems = [default_value(elem_type)] * length
+        self.shadow = None        # index -> graph node id (lazy dict)
+        self.tag = None
+
+    @property
+    def length(self) -> int:
+        return len(self.elems)
+
+    def __repr__(self):
+        return (f"<{self.elem_type}[{len(self.elems)}]"
+                f"#{self.obj_id}@{self.site}>")
+
+
+def render_value(value) -> str:
+    """Human-readable rendering used by Sys.print natives."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)

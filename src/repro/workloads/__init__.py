@@ -1,0 +1,16 @@
+"""Synthetic workload suite — DaCapo analogues, one per bloat idiom.
+
+Each workload exists in an unoptimized variant (exhibiting the bloat
+pattern a paper case study found) and an optimized variant (with the
+fix the paper applied).  Use::
+
+    from repro.workloads import get_workload, all_workloads
+    spec = get_workload("bloat_like")
+    program = spec.build("unopt")
+"""
+
+from .base import (OPT, UNOPT, WorkloadSpec, all_workloads, get_workload,
+                   register)
+
+__all__ = ["WorkloadSpec", "all_workloads", "get_workload", "register",
+           "UNOPT", "OPT"]

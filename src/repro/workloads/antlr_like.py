@@ -1,0 +1,194 @@
+"""antlr analogue — parser/lexer workload (a Table-1 row; antlr is not
+one of the paper's six case studies, but the suite mirrors DaCapo's
+breadth).
+
+Bloat pattern: the lexer materializes a token *text* string (through a
+StrBuilder) for every token, although the parser consults only the
+token kind and numeric value — classic temporary-string churn in
+generated lexers.  The optimized variant produces kinds/values
+directly and builds text only for error reporting (never needed here).
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+// Generates deterministic arithmetic expression strings like
+// "12+3*45+6" and evaluates them with a tiny precedence parser.
+class ExprGen {
+    static string make(Random rng, int terms) {
+        StrBuilder sb = new StrBuilder();
+        for (int t = 0; t < terms; t++) {
+            if (t > 0) {
+                if (rng.nextBool()) { sb.add("+"); } else { sb.add("*"); }
+            }
+            sb.addInt(1 + rng.nextInt(99));
+        }
+        return sb.toStr();
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class Token {
+    int kind;      // 0 = number, 1 = plus, 2 = star
+    int value;
+    string text;   // materialized for every token, never consulted
+    Token(int kind, int value, string text) {
+        this.kind = kind;
+        this.value = value;
+        this.text = text;
+    }
+}
+
+class Lexer {
+    string input;
+    int pos;
+    Lexer(string input) {
+        this.input = input;
+        pos = 0;
+    }
+    bool hasNext() {
+        return pos < input.length();
+    }
+    Token next() {
+        int c = input.charAt(pos);
+        if (c == 43) {
+            pos = pos + 1;
+            return new Token(1, 0, "+");
+        }
+        if (c == 42) {
+            pos = pos + 1;
+            return new Token(2, 0, "*");
+        }
+        int value = 0;
+        StrBuilder text = new StrBuilder();   // per-token churn
+        while (pos < input.length()) {
+            int d = input.charAt(pos);
+            if (d < 48 || d > 57) { break; }
+            value = value * 10 + (d - 48);
+            text.addChar(d);
+            pos = pos + 1;
+        }
+        return new Token(0, value, text.toStr());
+    }
+}
+
+class Parser {
+    static int eval(string input) {
+        Lexer lexer = new Lexer(input);
+        int sum = 0;
+        int product = 1;
+        while (lexer.hasNext()) {
+            Token tok = lexer.next();
+            if (tok.kind == 0) {
+                product = (product * tok.value) % 1000003;
+            }
+            if (tok.kind == 1) {
+                sum = (sum + product) % 1000003;
+                product = 1;
+            }
+            // kind 2 (*): keep multiplying
+        }
+        return (sum + product) % 1000003;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(13);
+        int total = 0;
+        for (int i = 0; i < __EXPRS__; i++) {
+            string expr = ExprGen.make(rng, __TERMS__);
+            total = (total + Parser.eval(expr)) % 1000003;
+        }
+        Sys.printInt(total);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Lexer {
+    string input;
+    int pos;
+    int kind;
+    int value;
+    Lexer(string input) {
+        this.input = input;
+        pos = 0;
+        kind = -1;
+        value = 0;
+    }
+    bool hasNext() {
+        return pos < input.length();
+    }
+    // Advances and leaves kind/value in fields: no Token objects, no
+    // token-text strings.
+    void next() {
+        int c = input.charAt(pos);
+        if (c == 43) {
+            pos = pos + 1;
+            kind = 1;
+            return;
+        }
+        if (c == 42) {
+            pos = pos + 1;
+            kind = 2;
+            return;
+        }
+        kind = 0;
+        value = 0;
+        while (pos < input.length()) {
+            int d = input.charAt(pos);
+            if (d < 48 || d > 57) { break; }
+            value = value * 10 + (d - 48);
+            pos = pos + 1;
+        }
+    }
+}
+
+class Parser {
+    static int eval(string input) {
+        Lexer lexer = new Lexer(input);
+        int sum = 0;
+        int product = 1;
+        while (lexer.hasNext()) {
+            lexer.next();
+            if (lexer.kind == 0) {
+                product = (product * lexer.value) % 1000003;
+            }
+            if (lexer.kind == 1) {
+                sum = (sum + product) % 1000003;
+                product = 1;
+            }
+        }
+        return (sum + product) % 1000003;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(13);
+        int total = 0;
+        for (int i = 0; i < __EXPRS__; i++) {
+            string expr = ExprGen.make(rng, __TERMS__);
+            total = (total + Parser.eval(expr)) % 1000003;
+        }
+        Sys.printInt(total);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="antlr_like",
+    description="expression lexing with per-token text strings the "
+                "parser never reads",
+    pattern="temporary strings/objects carrying data across calls",
+    paper_analogue="antlr (Table 1 row; string churn in generated "
+                   "lexers)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strbuilder", "util"),
+    default_scale={"EXPRS": 80, "TERMS": 20},
+    small_scale={"EXPRS": 10, "TERMS": 6},
+    expected_speedup=(0.1, 0.7),
+))

@@ -1,0 +1,99 @@
+"""Workload infrastructure: specs, scaling, and the suite registry.
+
+Each workload is a pair of MiniJ programs — an *unoptimized* variant
+exhibiting one of the paper's bloat patterns, and an *optimized*
+variant with the fix the paper's case study applied.  Workloads scale
+through ``__NAME__`` tokens substituted into the source, so tests can
+run tiny instances while benchmarks run the default load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..stdlib import ALL_MODULES, stdlib_source
+from ..lang import compile_source
+
+UNOPT = "unopt"
+OPT = "opt"
+
+
+@dataclass
+class WorkloadSpec:
+    """One synthetic benchmark with unoptimized/optimized variants."""
+
+    name: str
+    description: str
+    pattern: str                  # the bloat idiom exhibited
+    paper_analogue: str           # which case study / benchmark it mirrors
+    source_unopt: str
+    source_opt: str
+    stdlib_modules: tuple = ALL_MODULES
+    default_scale: dict = field(default_factory=dict)
+    #: Reduced scale for fast test / smoke runs.
+    small_scale: dict = field(default_factory=dict)
+    #: Expected running-time reduction band of the optimized variant,
+    #: as fractions (paper's reported speedups guide these).
+    expected_speedup: tuple = (0.0, 1.0)
+
+    def source(self, variant: str = UNOPT, scale=None) -> str:
+        text = self.source_unopt if variant == UNOPT else self.source_opt
+        values = dict(self.default_scale)
+        if scale:
+            # Only keys this workload actually declares apply, so one
+            # override dict can be shared across the whole suite.
+            values.update({key: value for key, value in scale.items()
+                           if key in values})
+        for key, value in values.items():
+            token = f"__{key}__"
+            if token not in text:
+                raise KeyError(
+                    f"workload {self.name}: scale token {token} missing "
+                    f"from {variant} source")
+            text = text.replace(token, str(value))
+        if "__" in text.replace("__init__", ""):
+            start = text.index("__")
+            raise KeyError(
+                f"workload {self.name}: unsubstituted scale token near "
+                f"...{text[start:start + 20]!r}")
+        return text
+
+    def build(self, variant: str = UNOPT, scale=None):
+        """Compile the chosen variant to a finalized Program."""
+        text = self.source(variant, scale)
+        if self.stdlib_modules:
+            text = text + "\n" + stdlib_source(*self.stdlib_modules)
+        return compile_source(text)
+
+
+_REGISTRY = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {spec.name}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: "
+                       f"{sorted(_REGISTRY)}") from None
+
+
+def all_workloads():
+    """All registered workloads, in registration (suite) order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded():
+    # Import the workload modules exactly once; each registers itself.
+    from . import (antlr_like, bloat_like, chart_like,  # noqa
+                   derby_like, eclipse_like, luindex_like,
+                   lusearch_like, pmd_like, sunflow_like,
+                   tomcat_like, trade_like, xalan_like)

@@ -1,0 +1,180 @@
+"""bloat analogue — the paper's biggest win (37% speedup).
+
+Patterns reproduced from the case study:
+
+* debug strings: every comparison eagerly builds a ``toString``-style
+  description through a StrBuilder and passes it to ``Assert.check``,
+  which prints it only when the (virtually never failing) condition is
+  false — exactly the paper's "46 of the top 50 sites are String/
+  StringBuffer built in toString methods, flowing into Assert.isTrue";
+* visitor churn: tree comparison allocates a fresh ``NodeComparator``
+  per recursive step ("comparing two large trees usually requires the
+  allocation of hundreds of objects").
+
+The optimized variant compares with a static recursion (no comparator
+objects) and builds the description only on an actual mismatch.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class TNode {
+    int kind;
+    int val;
+    TNode left;
+    TNode right;
+    TNode(int kind, int val) {
+        this.kind = kind;
+        this.val = val;
+        left = null;
+        right = null;
+    }
+}
+
+class Builder {
+    static TNode build(int depth, int seed) {
+        if (depth == 0) { return null; }
+        TNode n = new TNode(depth % 5, seed % 97);
+        n.left = Builder.build(depth - 1, (seed * 3 + 1) % 100003);
+        n.right = Builder.build(depth - 1, (seed * 3 + 2) % 100003);
+        return n;
+    }
+
+    static string describe(TNode n) {
+        StrBuilder sb = new StrBuilder();
+        Builder.describeInto(n, sb);
+        return sb.toStr();
+    }
+
+    static void describeInto(TNode n, StrBuilder sb) {
+        if (n == null) { sb.add("."); return; }
+        sb.add("(");
+        sb.addInt(n.kind);
+        sb.add(":");
+        sb.addInt(n.val);
+        Builder.describeInto(n.left, sb);
+        Builder.describeInto(n.right, sb);
+        sb.add(")");
+    }
+}
+
+// The program's real work: constant-folding-style evaluation passes
+// over the ASTs (identical in both variants).
+class Analyzer {
+    static int fold(TNode n) {
+        if (n == null) { return 1; }
+        int l = Analyzer.fold(n.left);
+        int r = Analyzer.fold(n.right);
+        int v = n.val;
+        if (n.kind == 0) { v = v + l + r; }
+        if (n.kind == 1) { v = v * (l + 1) + r; }
+        if (n.kind == 2) { v = (v + l) * (r + 1); }
+        if (n.kind == 3) { v = v - l + r * 3; }
+        if (n.kind == 4) { v = v + l * 2 - r; }
+        return Util.abs(v) % 100003;
+    }
+
+    static int analyze(TNode a, TNode b) {
+        int acc = 0;
+        for (int pass = 0; pass < __PASSES__; pass++) {
+            acc = (acc + Analyzer.fold(a) + Analyzer.fold(b) + pass)
+                % 1000003;
+        }
+        return acc;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class NodeComparator {
+    bool compare(TNode a, TNode b) {
+        if (a == null && b == null) { return true; }
+        if (a == null || b == null) { return false; }
+        if (a.kind != b.kind) { return false; }
+        if (a.val != b.val) { return false; }
+        NodeComparator lc = new NodeComparator();
+        if (!lc.compare(a.left, b.left)) { return false; }
+        NodeComparator rc = new NodeComparator();
+        return rc.compare(a.right, b.right);
+    }
+}
+
+class Assert {
+    static void check(bool ok, string msg) {
+        if (!ok) { Sys.println(msg); }
+    }
+}
+
+class Main {
+    static void main() {
+        int matches = 0;
+        int folded = 0;
+        for (int i = 0; i < __ROUNDS__; i++) {
+            TNode a = Builder.build(__DEPTH__, i);
+            TNode b = Builder.build(__DEPTH__, i);
+            folded = (folded + Analyzer.analyze(a, b)) % 1000003;
+            NodeComparator cmp = new NodeComparator();
+            bool same = cmp.compare(a, b);
+            // Debug string built on every round; printed (consumed)
+            // only when the comparison fails, which never happens.
+            string msg = "mismatch: " + Builder.describe(a) + " vs "
+                + Builder.describe(b);
+            Assert.check(same, msg);
+            if (same) { matches++; }
+        }
+        Sys.printInt(matches);
+        Sys.print(" ");
+        Sys.printInt(folded);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Comparer {
+    static bool compare(TNode a, TNode b) {
+        if (a == null && b == null) { return true; }
+        if (a == null || b == null) { return false; }
+        if (a.kind != b.kind) { return false; }
+        if (a.val != b.val) { return false; }
+        if (!Comparer.compare(a.left, b.left)) { return false; }
+        return Comparer.compare(a.right, b.right);
+    }
+}
+
+class Main {
+    static void main() {
+        int matches = 0;
+        int folded = 0;
+        for (int i = 0; i < __ROUNDS__; i++) {
+            TNode a = Builder.build(__DEPTH__, i);
+            TNode b = Builder.build(__DEPTH__, i);
+            folded = (folded + Analyzer.analyze(a, b)) % 1000003;
+            bool same = Comparer.compare(a, b);
+            if (!same) {
+                // Description built lazily, only on actual mismatch.
+                Sys.println("mismatch: " + Builder.describe(a) + " vs "
+                    + Builder.describe(b));
+            }
+            if (same) { matches++; }
+        }
+        Sys.printInt(matches);
+        Sys.print(" ");
+        Sys.printInt(folded);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="bloat_like",
+    description="AST comparison with comparator churn and eager debug "
+                "strings",
+    pattern="computation of data not necessarily used; visitor/inner-"
+            "class churn",
+    paper_analogue="bloat (37% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strbuilder", "util"),
+    default_scale={"ROUNDS": 40, "DEPTH": 5, "PASSES": 12},
+    small_scale={"ROUNDS": 6, "DEPTH": 4, "PASSES": 3},
+    expected_speedup=(0.2, 0.6),
+))

@@ -1,0 +1,103 @@
+"""chart analogue — the paper's introductory example.
+
+"The DaCapo chart benchmark creates many lists and adds thousands of
+data structures to them, for the sole purpose of obtaining list sizes.
+The actual values stored in the list entries are never used."
+
+Each data series builds a list of expensively derived Point structures
+whose only observable use is ``count()`` for axis scaling.  The
+optimized variant counts directly.
+"""
+
+from .base import WorkloadSpec, register
+
+_UNOPT = """
+class Point {
+    int x;
+    int y;
+    int style;
+    Point(int rawX, int rawY, int seriesKind) {
+        // Non-trivial formation cost for values of zero benefit.
+        x = (rawX * 37 + rawY * 11) % 10007;
+        y = (rawY * rawY + rawX * 5 + 3) % 10007;
+        style = (seriesKind * 31 + rawX) % 7;
+    }
+}
+
+class PointList {
+    Point[] items;
+    int size;
+    PointList(int cap) {
+        items = new Point[cap];
+        size = 0;
+    }
+    void add(Point p) {
+        items[size] = p;
+        size = size + 1;
+    }
+    int count() {
+        return size;
+    }
+}
+
+class Main {
+    static void main() {
+        int axisMax = 0;
+        Random rng = new Random(7);
+        for (int s = 0; s < __SERIES__; s++) {
+            int n = __POINTS__ + rng.nextInt(16);
+            PointList list = new PointList(n);
+            for (int i = 0; i < n; i++) {
+                list.add(new Point(i, rng.nextInt(1000), s));
+            }
+            // The only use of the whole structure: its size.
+            if (list.count() > axisMax) {
+                axisMax = list.count();
+            }
+        }
+        // Render the axis from the maximum series length.
+        int ticks = axisMax / 8 + 1;
+        Sys.printInt(axisMax);
+        Sys.print(" ");
+        Sys.printInt(ticks);
+    }
+}
+"""
+
+_OPT = """
+class Main {
+    static void main() {
+        int axisMax = 0;
+        Random rng = new Random(7);
+        for (int s = 0; s < __SERIES__; s++) {
+            int n = __POINTS__ + rng.nextInt(16);
+            // Advance the generator exactly as the unoptimized variant
+            // does, but never materialize points or lists.
+            for (int i = 0; i < n; i++) {
+                rng.nextInt(1000);
+            }
+            if (n > axisMax) {
+                axisMax = n;
+            }
+        }
+        int ticks = axisMax / 8 + 1;
+        Sys.printInt(axisMax);
+        Sys.print(" ");
+        Sys.printInt(ticks);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="chart_like",
+    description="series lists populated only to read their sizes",
+    pattern="containers populated with expensive structures used only "
+            "for size()",
+    paper_analogue="chart (intro example)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("util",),
+    default_scale={"SERIES": 40, "POINTS": 120},
+    small_scale={"SERIES": 6, "POINTS": 30},
+    expected_speedup=(0.3, 0.95),
+))

@@ -1,0 +1,209 @@
+"""derby analogue — database engine (6% speedup in the paper).
+
+Patterns reproduced from the case study:
+
+* ``FileContainer``: an int array holding container metadata is
+  rewritten with the same data on *every* page write, although it is
+  read only when the container header is occasionally flushed (the fix
+  defers the update until just before a read);
+* ``ContextManager`` IDs: context lookup is keyed by strings that are
+  re-hashed (character by character) on every context switch (the fix
+  uses int IDs).
+
+The dominant work — materializing and checksumming page payloads — is
+identical in both variants.
+"""
+
+from .base import WorkloadSpec, register
+
+_PAGEWORK = """
+class PageStore {
+    int[] buffer;
+    int checksum;
+    PageStore(int words) {
+        buffer = new int[words];
+        checksum = 0;
+    }
+    // The engine's real work: fill the page image and checksum it.
+    void materialize(int pageId, int data) {
+        for (int i = 0; i < buffer.length; i++) {
+            buffer[i] = (data * 7 + i * 13 + pageId) % 65521;
+            checksum = (checksum + buffer[i]) % 1000003;
+        }
+    }
+}
+"""
+
+_UNOPT = _PAGEWORK + """
+class FileContainer {
+    int[] header;
+    int pageCount;
+    int containerId;
+    PageStore store;
+    FileContainer(int id) {
+        header = new int[16];
+        pageCount = 0;
+        containerId = id;
+        store = new PageStore(__PAGE_WORDS__);
+    }
+
+    void writePage(int pageId, int data) {
+        pageCount = pageCount + 1;
+        store.materialize(pageId, data);
+        // Header rewritten on every page write — with the same values.
+        this.updateHeader();
+    }
+
+    void updateHeader() {
+        for (int i = 0; i < header.length; i++) {
+            header[i] = (containerId * 31 + i * 7 + 11) % 9973;
+        }
+    }
+
+    int flushHeader() {
+        int sum = 0;
+        for (int i = 0; i < header.length; i++) {
+            sum = sum + header[i];
+        }
+        return sum;
+    }
+}
+
+class ContextService {
+    StrIntMap byName;
+    ContextService() {
+        byName = new StrIntMap();
+    }
+    void register(string name, int token) {
+        byName.put(name, token);
+    }
+    int switchTo(string name) {
+        return byName.get(name, -1);
+    }
+}
+
+class Main {
+    static void main() {
+        FileContainer container = new FileContainer(3);
+        int flushed = 0;
+        for (int p = 0; p < __PAGES__; p++) {
+            container.writePage(p, p * 17);
+            if (p % __FLUSH_EVERY__ == __FLUSH_EVERY__ - 1) {
+                flushed = (flushed + container.flushHeader()) % 1000003;
+            }
+        }
+        ContextService service = new ContextService();
+        for (int i = 0; i < __CTXS__; i++) {
+            service.register("ctx" + i, i * 3 + 1);
+        }
+        int tokens = 0;
+        for (int i = 0; i < __SWITCHES__; i++) {
+            // A fresh key string per switch: concat + full re-hash.
+            tokens = (tokens + service.switchTo("ctx" + (i % __CTXS__)))
+                % 1000003;
+        }
+        Sys.printInt(flushed);
+        Sys.print(" ");
+        Sys.printInt(tokens);
+        Sys.print(" ");
+        Sys.printInt(container.store.checksum);
+    }
+}
+"""
+
+_OPT = _PAGEWORK + """
+class FileContainer {
+    int[] header;
+    int pageCount;
+    int containerId;
+    bool headerDirty;
+    PageStore store;
+    FileContainer(int id) {
+        header = new int[16];
+        pageCount = 0;
+        containerId = id;
+        headerDirty = false;
+        store = new PageStore(__PAGE_WORDS__);
+    }
+
+    void writePage(int pageId, int data) {
+        pageCount = pageCount + 1;
+        store.materialize(pageId, data);
+        // Just mark dirty; materialize only before a read.
+        headerDirty = true;
+    }
+
+    void updateHeader() {
+        for (int i = 0; i < header.length; i++) {
+            header[i] = (containerId * 31 + i * 7 + 11) % 9973;
+        }
+    }
+
+    int flushHeader() {
+        if (headerDirty) {
+            this.updateHeader();
+            headerDirty = false;
+        }
+        int sum = 0;
+        for (int i = 0; i < header.length; i++) {
+            sum = sum + header[i];
+        }
+        return sum;
+    }
+}
+
+class ContextService {
+    IntIntMap byId;
+    ContextService() {
+        byId = new IntIntMap();
+    }
+    void register(int id, int token) {
+        byId.put(id, token);
+    }
+    int switchTo(int id) {
+        return byId.get(id, -1);
+    }
+}
+
+class Main {
+    static void main() {
+        FileContainer container = new FileContainer(3);
+        int flushed = 0;
+        for (int p = 0; p < __PAGES__; p++) {
+            container.writePage(p, p * 17);
+            if (p % __FLUSH_EVERY__ == __FLUSH_EVERY__ - 1) {
+                flushed = (flushed + container.flushHeader()) % 1000003;
+            }
+        }
+        ContextService service = new ContextService();
+        for (int i = 0; i < __CTXS__; i++) {
+            service.register(i, i * 3 + 1);
+        }
+        int tokens = 0;
+        for (int i = 0; i < __SWITCHES__; i++) {
+            tokens = (tokens + service.switchTo(i % __CTXS__)) % 1000003;
+        }
+        Sys.printInt(flushed);
+        Sys.print(" ");
+        Sys.printInt(tokens);
+        Sys.print(" ");
+        Sys.printInt(container.store.checksum);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="derby_like",
+    description="header rewritten per page write; string-keyed context "
+                "switching",
+    pattern="locations written much more often than read; expensive "
+            "keys for hot lookups",
+    paper_analogue="derby (6% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strmap", "intmap"),
+    default_scale={"PAGES": 160, "FLUSH_EVERY": 20, "CTXS": 10,
+                   "SWITCHES": 200, "PAGE_WORDS": 220},
+    small_scale={"PAGES": 30, "FLUSH_EVERY": 10, "CTXS": 5, "SWITCHES": 30, "PAGE_WORDS": 40},
+    expected_speedup=(0.02, 0.25),
+))

@@ -1,0 +1,345 @@
+"""eclipse analogue — IDE workspace (14.5% speedup in the paper).
+
+Patterns reproduced from the case study:
+
+* visitor pattern: workspace traversals allocate a data-free Visitor
+  plus a general stack-based Iterator per walk, although the workspace
+  is a simple tree ("this simple specialization eliminated millions of
+  run-time objects" — the fix is a worklist);
+* ``HashtableOfArrayToObject``: every rehash recomputes the hash codes
+  of all existing array keys (the fix caches hash codes in a field);
+* Figure 6's ``isPackage``: builds the full directory list and only
+  null-checks it (the fix returns as soon as existence is known).
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class Res {
+    int id;
+    Res[] children;
+    int childCount;
+    Res(int id, int cap) {
+        this.id = id;
+        children = new Res[cap];
+        childCount = 0;
+    }
+    void addChild(Res r) {
+        children[childCount] = r;
+        childCount = childCount + 1;
+    }
+}
+
+class Workspace {
+    static Res build(int depth, int fanout, int idBase) {
+        Res root = new Res(idBase, fanout);
+        if (depth > 0) {
+            for (int i = 0; i < fanout; i++) {
+                root.addChild(
+                    Workspace.build(depth - 1, fanout,
+                                    idBase * fanout + i + 1));
+            }
+        }
+        return root;
+    }
+}
+
+class Work {
+    // Per-resource indexing work: the IDE's real job, identical in
+    // both variants.
+    static int score(int id) {
+        int h = id;
+        for (int k = 0; k < __SCORE__; k++) {
+            h = (h * 31 + k * 7 + 3) % 65521;
+        }
+        return h;
+    }
+}
+
+class ArrKey {
+    int[] parts;
+    ArrKey(int a, int b, int c) {
+        parts = new int[3];
+        parts[0] = a;
+        parts[1] = b;
+        parts[2] = c;
+    }
+    int hashCode() {
+        int h = 17;
+        for (int i = 0; i < parts.length; i++) {
+            h = (h * 31 + parts[i]) % 1000003;
+        }
+        return h;
+    }
+    bool sameAs(ArrKey o) {
+        if (o.parts.length != parts.length) { return false; }
+        for (int i = 0; i < parts.length; i++) {
+            if (o.parts[i] != parts[i]) { return false; }
+        }
+        return true;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class Visitor {
+    int visited;
+    int sum;
+    Visitor() {
+        visited = 0;
+        sum = 0;
+    }
+    void visit(Res r) {
+        visited = visited + 1;
+        sum = (sum + Work.score(r.id)) % 1000003;
+    }
+}
+
+// General stack-based iterator for arbitrary structures, used on a
+// plain tree (the paper's over-general Iterator).
+class TreeIterator {
+    Res[] stack;
+    int top;
+    TreeIterator(Res root, int cap) {
+        stack = new Res[cap];
+        top = 0;
+        stack[top] = root;
+        top = top + 1;
+    }
+    bool hasNext() {
+        return top > 0;
+    }
+    Res next() {
+        top = top - 1;
+        Res r = stack[top];
+        for (int i = 0; i < r.childCount; i++) {
+            stack[top] = r.children[i];
+            top = top + 1;
+        }
+        return r;
+    }
+}
+
+class HashtableOfArray {
+    ArrKey[] keys;
+    int[] vals;
+    int size;
+    HashtableOfArray() {
+        keys = new ArrKey[16];
+        vals = new int[16];
+        size = 0;
+    }
+    void put(ArrKey k, int v) {
+        if (size * 4 >= keys.length * 3) {
+            this.rehash();
+        }
+        int i = this.slot(k, keys);
+        if (keys[i] == null) {
+            keys[i] = k;
+            size = size + 1;
+        }
+        vals[i] = v;
+    }
+    int get(ArrKey k, int fallback) {
+        int i = this.slot(k, keys);
+        if (keys[i] != null) { return vals[i]; }
+        return fallback;
+    }
+    int slot(ArrKey k, ArrKey[] table) {
+        int mask = table.length - 1;
+        int i = k.hashCode() & mask;
+        while (table[i] != null && !table[i].sameAs(k)) {
+            i = (i + 1) & mask;
+        }
+        return i;
+    }
+    void rehash() {
+        ArrKey[] oldKeys = keys;
+        int[] oldVals = vals;
+        keys = new ArrKey[oldKeys.length * 2];
+        vals = new int[oldKeys.length * 2];
+        size = 0;
+        for (int i = 0; i < oldKeys.length; i++) {
+            if (oldKeys[i] != null) {
+                // Recomputes hashCode of every existing key.
+                this.put(oldKeys[i], oldVals[i]);
+            }
+        }
+    }
+}
+
+class Dirs {
+    // Figure 6: builds the whole list; the caller only null-checks it.
+    static StrList directoryList(string pkg, int fileCount) {
+        StrList ret = new StrList();
+        if (fileCount == 0) { return null; }
+        for (int i = 0; i < fileCount; i++) {
+            ret.add(pkg + "/file" + i + ".java");
+        }
+        return ret;
+    }
+    static bool isPackage(string pkg, int fileCount) {
+        return Dirs.directoryList(pkg, fileCount) != null;
+    }
+}
+
+class Main {
+    static void main() {
+        Res workspace = Workspace.build(__DEPTH__, 3, 1);
+        int total = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            // Visitor + iterator allocated per traversal.
+            Visitor v = new Visitor();
+            TreeIterator it = new TreeIterator(workspace, 512);
+            while (it.hasNext()) {
+                v.visit(it.next());
+            }
+            total = (total + v.sum) % 1000003;
+        }
+        HashtableOfArray table = new HashtableOfArray();
+        for (int i = 0; i < __KEYS__; i++) {
+            table.put(new ArrKey(i, i * 7, i % 13), i);
+        }
+        int hits = 0;
+        for (int i = 0; i < __KEYS__; i++) {
+            hits = hits + table.get(new ArrKey(i, i * 7, i % 13), 0);
+        }
+        int packages = 0;
+        for (int i = 0; i < __PKGS__; i++) {
+            if (Dirs.isPackage("org/proj/pkg" + i, i % 5)) {
+                packages = packages + 1;
+            }
+        }
+        Sys.printInt(total);
+        Sys.print(" ");
+        Sys.printInt(hits);
+        Sys.print(" ");
+        Sys.printInt(packages);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class CachedKey extends ArrKey {
+    int hash;
+    CachedKey(int a, int b, int c) {
+        super(a, b, c);
+        hash = this.hashCode();
+    }
+}
+
+class HashtableOfArray {
+    CachedKey[] keys;
+    int[] vals;
+    int size;
+    HashtableOfArray() {
+        keys = new CachedKey[16];
+        vals = new int[16];
+        size = 0;
+    }
+    void put(CachedKey k, int v) {
+        if (size * 4 >= keys.length * 3) {
+            this.rehash();
+        }
+        int i = this.slot(k, keys);
+        if (keys[i] == null) {
+            keys[i] = k;
+            size = size + 1;
+        }
+        vals[i] = v;
+    }
+    int get(CachedKey k, int fallback) {
+        int i = this.slot(k, keys);
+        if (keys[i] != null) { return vals[i]; }
+        return fallback;
+    }
+    int slot(CachedKey k, CachedKey[] table) {
+        int mask = table.length - 1;
+        // Cached hash code: no recomputation during rehash.
+        int i = k.hash & mask;
+        while (table[i] != null && !table[i].sameAs(k)) {
+            i = (i + 1) & mask;
+        }
+        return i;
+    }
+    void rehash() {
+        CachedKey[] oldKeys = keys;
+        int[] oldVals = vals;
+        keys = new CachedKey[oldKeys.length * 2];
+        vals = new int[oldKeys.length * 2];
+        size = 0;
+        for (int i = 0; i < oldKeys.length; i++) {
+            if (oldKeys[i] != null) {
+                this.put(oldKeys[i], oldVals[i]);
+            }
+        }
+    }
+}
+
+class Dirs {
+    // Specialized: returns as soon as existence is known.
+    static bool isPackage(string pkg, int fileCount) {
+        return fileCount > 0;
+    }
+}
+
+class Main {
+    static void main() {
+        Res workspace = Workspace.build(__DEPTH__, 3, 1);
+        Res[] worklist = new Res[512];
+        int total = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            // Worklist traversal: zero allocations per walk.
+            int top = 0;
+            int sum = 0;
+            worklist[top] = workspace;
+            top = top + 1;
+            while (top > 0) {
+                top = top - 1;
+                Res r = worklist[top];
+                sum = (sum + Work.score(r.id)) % 1000003;
+                for (int i = 0; i < r.childCount; i++) {
+                    worklist[top] = r.children[i];
+                    top = top + 1;
+                }
+            }
+            total = (total + sum) % 1000003;
+        }
+        HashtableOfArray table = new HashtableOfArray();
+        for (int i = 0; i < __KEYS__; i++) {
+            table.put(new CachedKey(i, i * 7, i % 13), i);
+        }
+        int hits = 0;
+        for (int i = 0; i < __KEYS__; i++) {
+            hits = hits + table.get(new CachedKey(i, i * 7, i % 13), 0);
+        }
+        int packages = 0;
+        for (int i = 0; i < __PKGS__; i++) {
+            if (Dirs.isPackage("org/proj/pkg" + i, i % 5)) {
+                packages = packages + 1;
+            }
+        }
+        Sys.printInt(total);
+        Sys.print(" ");
+        Sys.printInt(hits);
+        Sys.print(" ");
+        Sys.printInt(packages);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="eclipse_like",
+    description="visitor/iterator churn, rehash recomputation, "
+                "list-built-only-for-null-check",
+    pattern="over-general iterators; repeated work whose result should "
+            "be cached; Figure-6 low-utility list",
+    paper_analogue="eclipse (14.5% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strlist",),
+    default_scale={"DEPTH": 5, "ROUNDS": 25, "KEYS": 150,
+                   "PKGS": 40, "SCORE": 6},
+    small_scale={"DEPTH": 3, "ROUNDS": 4, "KEYS": 40, "PKGS": 10, "SCORE": 3},
+    expected_speedup=(0.05, 0.6),
+))

@@ -1,0 +1,124 @@
+"""luindex analogue — text indexing workload (a Table-1 row).
+
+Bloat pattern: each word is wrapped in a ``Posting`` object just to
+carry (term, weight) one call deep into the index, where it is
+immediately unwrapped — the paper's "objects created simply to carry
+data across method invocations"; additionally every term is
+re-normalized through a StrBuilder although the generator already
+produces normalized terms (redundant work whose result is identical to
+its input).  The optimized variant passes the two values directly and
+skips the no-op normalization.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class Docs {
+    // Deterministic "document": WORDS terms drawn from a vocabulary.
+    static string term(Random rng, int vocab) {
+        return "term" + rng.nextInt(vocab);
+    }
+}
+
+class Index {
+    StrIntMap counts;
+    int totalWeight;
+    Index() {
+        counts = new StrIntMap();
+        totalWeight = 0;
+    }
+    int checksum() {
+        return (counts.count() * 31 + totalWeight) % 1000003;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class Posting {
+    string term;
+    int weight;
+    Posting(string term, int weight) {
+        this.term = term;
+        this.weight = weight;
+    }
+}
+
+class Normalizer {
+    // Rebuilds the term character by character: real work, same
+    // output (the input is already normalized).
+    static string normalize(string term) {
+        StrBuilder sb = new StrBuilder();
+        for (int i = 0; i < term.length(); i++) {
+            sb.addChar(term.charAt(i));
+        }
+        return sb.toStr();
+    }
+}
+
+class Indexer {
+    static void add(Index index, Posting posting) {
+        // The wrapper is unwrapped immediately.
+        string term = posting.term;
+        int weight = posting.weight;
+        int seen = index.counts.get(term, 0);
+        index.counts.put(term, seen + weight);
+        index.totalWeight = (index.totalWeight + weight) % 1000003;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(29);
+        Index index = new Index();
+        for (int d = 0; d < __DOCS__; d++) {
+            for (int w = 0; w < __WORDS__; w++) {
+                string term = Docs.term(rng, __VOCAB__);
+                string normalized = Normalizer.normalize(term);
+                Indexer.add(index,
+                            new Posting(normalized, 1 + (w % 3)));
+            }
+        }
+        Sys.printInt(index.checksum());
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Indexer {
+    static void add(Index index, string term, int weight) {
+        int seen = index.counts.get(term, 0);
+        index.counts.put(term, seen + weight);
+        index.totalWeight = (index.totalWeight + weight) % 1000003;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(29);
+        Index index = new Index();
+        for (int d = 0; d < __DOCS__; d++) {
+            for (int w = 0; w < __WORDS__; w++) {
+                string term = Docs.term(rng, __VOCAB__);
+                // Direct call: no wrapper, no no-op normalization.
+                Indexer.add(index, term, 1 + (w % 3));
+            }
+        }
+        Sys.printInt(index.checksum());
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="luindex_like",
+    description="term indexing through single-use Posting wrappers "
+                "and no-op normalization",
+    pattern="temporary wrappers; repeated work whose result equals "
+            "its input",
+    paper_analogue="luindex (Table 1 row; indexing churn)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strmap", "strbuilder", "util"),
+    default_scale={"DOCS": 12, "WORDS": 60, "VOCAB": 50},
+    small_scale={"DOCS": 3, "WORDS": 12, "VOCAB": 10},
+    expected_speedup=(0.05, 0.5),
+))

@@ -1,0 +1,169 @@
+"""lusearch analogue — query evaluation over an index (Table-1 row).
+
+Bloat pattern: the scorer re-validates the query against the index
+schema on *every* document scored — "expensive conditional checks that
+are always true" (§1), the exact shape the constant-predicate client
+(§3.2) exists to find.  The optimized variant validates once per query.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class QueryIndex {
+    int[] termIds;
+    int[] frequencies;
+    int terms;
+    int schemaVersion;
+    QueryIndex(int terms, Random rng) {
+        termIds = new int[terms];
+        frequencies = new int[terms];
+        this.terms = terms;
+        schemaVersion = 7;
+        for (int i = 0; i < terms; i++) {
+            termIds[i] = i;
+            frequencies[i] = 1 + rng.nextInt(40);
+        }
+    }
+}
+
+class Query {
+    int[] wanted;
+    int count;
+    int schemaVersion;
+    Query(int a, int b, int c) {
+        wanted = new int[3];
+        wanted[0] = a;
+        wanted[1] = b;
+        wanted[2] = c;
+        count = 3;
+        schemaVersion = 7;
+    }
+}
+
+class Scoring {
+    // The real per-document work: identical in both variants.
+    static int score(QueryIndex index, Query q, int doc) {
+        int total = 0;
+        for (int i = 0; i < q.count; i++) {
+            int term = q.wanted[i];
+            int tf = index.frequencies[term % index.terms];
+            int partial = tf;
+            for (int k = 0; k < __SCORE__; k++) {
+                partial = (partial * 29 + doc % 13 + term + k) % 65521;
+            }
+            total = (total + partial) % 65521;
+        }
+        return total;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class Validator {
+    // Walks the whole query and index agreement — always true after
+    // the first call, re-run per document anyway.
+    static bool compatible(QueryIndex index, Query q) {
+        if (index.schemaVersion != q.schemaVersion) { return false; }
+        for (int i = 0; i < q.count; i++) {
+            int term = q.wanted[i];
+            bool found = false;
+            for (int j = 0; j < index.terms; j++) {
+                if (index.termIds[j] == term % index.terms) {
+                    found = true;
+                }
+            }
+            if (!found) { return false; }
+        }
+        return true;
+    }
+}
+
+class Searcher {
+    static int run(QueryIndex index, Query q, int docs) {
+        int best = 0;
+        for (int doc = 0; doc < docs; doc++) {
+            // Re-validated for every document: always true.
+            if (Validator.compatible(index, q)) {
+                int s = Scoring.score(index, q, doc);
+                if (s > best) { best = s; }
+            }
+        }
+        return best;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(11);
+        QueryIndex index = new QueryIndex(__TERMS__, rng);
+        int digest = 0;
+        for (int qn = 0; qn < __QUERIES__; qn++) {
+            Query q = new Query(qn, qn * 3 + 1, qn * 7 + 2);
+            digest = (digest + Searcher.run(index, q, __DOCS__))
+                % 1000003;
+        }
+        Sys.printInt(digest);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Validator {
+    static bool compatible(QueryIndex index, Query q) {
+        if (index.schemaVersion != q.schemaVersion) { return false; }
+        for (int i = 0; i < q.count; i++) {
+            int term = q.wanted[i];
+            bool found = false;
+            for (int j = 0; j < index.terms; j++) {
+                if (index.termIds[j] == term % index.terms) {
+                    found = true;
+                }
+            }
+            if (!found) { return false; }
+        }
+        return true;
+    }
+}
+
+class Searcher {
+    static int run(QueryIndex index, Query q, int docs) {
+        // Validated once per query, not once per document.
+        if (!Validator.compatible(index, q)) { return 0; }
+        int best = 0;
+        for (int doc = 0; doc < docs; doc++) {
+            int s = Scoring.score(index, q, doc);
+            if (s > best) { best = s; }
+        }
+        return best;
+    }
+}
+
+class Main {
+    static void main() {
+        Random rng = new Random(11);
+        QueryIndex index = new QueryIndex(__TERMS__, rng);
+        int digest = 0;
+        for (int qn = 0; qn < __QUERIES__; qn++) {
+            Query q = new Query(qn, qn * 3 + 1, qn * 7 + 2);
+            digest = (digest + Searcher.run(index, q, __DOCS__))
+                % 1000003;
+        }
+        Sys.printInt(digest);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="lusearch_like",
+    description="per-document re-validation of an always-true "
+                "query/index compatibility check",
+    pattern="expensive conditional checks that are always true",
+    paper_analogue="lusearch (Table 1 row; over-protective checks)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("util",),
+    default_scale={"TERMS": 12, "QUERIES": 20, "DOCS": 40,
+                   "SCORE": 14},
+    small_scale={"TERMS": 6, "QUERIES": 4, "DOCS": 10, "SCORE": 5},
+    expected_speedup=(0.1, 0.8),
+))

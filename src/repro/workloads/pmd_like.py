@@ -1,0 +1,169 @@
+"""pmd analogue — static-analysis tool over source trees (Table-1 row).
+
+Bloat pattern: every rule evaluation recomputes node attributes (depth
+and subtree size walks) that never change after the tree is built, and
+wraps them in a per-evaluation ``RuleContext`` object — repeated work
+whose result should be cached, plus wrapper churn.  The optimized
+variant computes the attributes once during construction and passes
+them directly.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class SrcNode {
+    int kind;
+    SrcNode[] children;
+    int childCount;
+    int depth;        // used by the optimized variant
+    int subtree;      // used by the optimized variant
+    SrcNode(int kind, int cap) {
+        this.kind = kind;
+        children = new SrcNode[cap];
+        childCount = 0;
+        depth = 0;
+        subtree = 1;
+    }
+    void addChild(SrcNode c) {
+        children[childCount] = c;
+        childCount = childCount + 1;
+    }
+}
+
+class TreeGen {
+    static SrcNode build(int depth, int fanout, int seed) {
+        SrcNode n = new SrcNode(seed % 6, fanout);
+        if (depth > 0) {
+            for (int i = 0; i < fanout; i++) {
+                n.addChild(TreeGen.build(depth - 1, fanout,
+                                         seed * 5 + i + 1));
+            }
+        }
+        return n;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class RuleContext {
+    SrcNode node;
+    int depth;
+    int subtree;
+    RuleContext(SrcNode node, int depth, int subtree) {
+        this.node = node;
+        this.depth = depth;
+        this.subtree = subtree;
+    }
+}
+
+class Attrs {
+    // Recomputed on EVERY rule evaluation (never changes).
+    static int subtreeSize(SrcNode n) {
+        int size = 1;
+        for (int i = 0; i < n.childCount; i++) {
+            size = size + Attrs.subtreeSize(n.children[i]);
+        }
+        return size;
+    }
+}
+
+class Rules {
+    static int deepNesting(RuleContext ctx) {
+        if (ctx.depth > 3 && ctx.node.kind == 2) { return 1; }
+        return 0;
+    }
+    static int giantSubtree(RuleContext ctx) {
+        if (ctx.subtree > 10 && ctx.node.kind != 4) { return 1; }
+        return 0;
+    }
+}
+
+class Checker {
+    static int check(SrcNode n, int depth) {
+        // Fresh context per node per rule pass; subtree recomputed.
+        RuleContext ctx = new RuleContext(
+            n, depth, Attrs.subtreeSize(n));
+        int violations = Rules.deepNesting(ctx)
+            + Rules.giantSubtree(ctx);
+        for (int i = 0; i < n.childCount; i++) {
+            violations = violations
+                + Checker.check(n.children[i], depth + 1);
+        }
+        return violations;
+    }
+}
+
+class Main {
+    static void main() {
+        int violations = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            SrcNode tree = TreeGen.build(__DEPTH__, 3, round + 1);
+            violations = violations + Checker.check(tree, 0);
+        }
+        Sys.printInt(violations);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Attrs {
+    // Computed once after construction and stored on the nodes.
+    static int annotate(SrcNode n, int depth) {
+        n.depth = depth;
+        int size = 1;
+        for (int i = 0; i < n.childCount; i++) {
+            size = size + Attrs.annotate(n.children[i], depth + 1);
+        }
+        n.subtree = size;
+        return size;
+    }
+}
+
+class Rules {
+    static int deepNesting(SrcNode n) {
+        if (n.depth > 3 && n.kind == 2) { return 1; }
+        return 0;
+    }
+    static int giantSubtree(SrcNode n) {
+        if (n.subtree > 10 && n.kind != 4) { return 1; }
+        return 0;
+    }
+}
+
+class Checker {
+    static int check(SrcNode n) {
+        int violations = Rules.deepNesting(n) + Rules.giantSubtree(n);
+        for (int i = 0; i < n.childCount; i++) {
+            violations = violations + Checker.check(n.children[i]);
+        }
+        return violations;
+    }
+}
+
+class Main {
+    static void main() {
+        int violations = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            SrcNode tree = TreeGen.build(__DEPTH__, 3, round + 1);
+            Attrs.annotate(tree, 0);
+            violations = violations + Checker.check(tree);
+        }
+        Sys.printInt(violations);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="pmd_like",
+    description="per-rule context wrappers and per-evaluation "
+                "recomputation of immutable tree attributes",
+    pattern="repeated work whose result should be cached; wrapper "
+            "churn",
+    paper_analogue="pmd (Table 1 row; rule-engine churn)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=(),
+    default_scale={"ROUNDS": 14, "DEPTH": 5},
+    small_scale={"ROUNDS": 3, "DEPTH": 3},
+    expected_speedup=(0.1, 0.8),
+))

@@ -1,0 +1,175 @@
+"""sunflow analogue — image renderer (9–15% speedup in the paper).
+
+Patterns reproduced from the case study:
+
+* every Matrix operation starts by cloning a fresh object and returns
+  the clone — short-lived objects "serving primarily the purpose of
+  carrying data across method invocations";
+* float values are encoded into an int array (Float.floatToIntBits
+  analogue: fixed-point scaling) and decoded back in the hottest loop.
+
+The real work — per-pixel shading — is identical in both variants, so
+the optimized variant's win comes only from removing the clone churn
+and the representation round trips, keeping the reduction in the
+paper's band rather than dominating the runtime.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHADER = """
+class Shader {
+    // The renderer's real work: identical in both variants.
+    static int shade(int v, int x, int y) {
+        int acc = v;
+        for (int k = 0; k < __SHADE__; k++) {
+            acc = (acc * 17 + x * 3 + y * 5 + k) % 65521;
+            acc = acc + ((acc >> 3) & 255);
+        }
+        return acc % 4096;
+    }
+}
+"""
+
+_UNOPT = _SHADER + """
+class Matrix {
+    int[] m;
+    Matrix() {
+        m = new int[9];
+    }
+
+    Matrix copy() {
+        Matrix c = new Matrix();
+        for (int i = 0; i < 9; i++) {
+            c.m[i] = m[i];
+        }
+        return c;
+    }
+
+    // Each op clones, then overwrites the clone (the paper's pattern).
+    Matrix transpose() {
+        Matrix c = this.copy();
+        for (int r = 0; r < 3; r++) {
+            for (int col = 0; col < 3; col++) {
+                c.m[r * 3 + col] = m[col * 3 + r];
+            }
+        }
+        return c;
+    }
+
+    Matrix scale(int s) {
+        Matrix c = this.copy();
+        for (int i = 0; i < 9; i++) {
+            c.m[i] = (m[i] * s) / 1024;
+        }
+        return c;
+    }
+
+    int apply(int x, int y) {
+        int v = m[0] * x + m[1] * y + m[2]
+              + m[3] * x + m[4] * y + m[5];
+        return v / 1024;
+    }
+}
+
+class Codec {
+    // Float.floatToIntBits analogue: fixed-point encode/decode.
+    static int encode(int v) {
+        return v * 1024 + 512;
+    }
+    static int decode(int bits) {
+        return (bits - 512) / 1024;
+    }
+}
+
+class Main {
+    static void main() {
+        Matrix base = new Matrix();
+        for (int i = 0; i < 9; i++) {
+            base.m[i] = (i * 311 + 97) % 2048;
+        }
+        int[] slots = new int[4];
+        int checksum = 0;
+        for (int y = 0; y < __H__; y++) {
+            // Fresh transform per scanline: two clones per op chain.
+            Matrix t = base.transpose().scale(900 + (y % 7));
+            for (int x = 0; x < __W__; x++) {
+                // Encode coordinates into the int array, decode them
+                // right back out (the conversions the paper removed).
+                slots[0] = Codec.encode(x);
+                slots[1] = Codec.encode(y);
+                int px = Codec.decode(slots[0]);
+                int py = Codec.decode(slots[1]);
+                int v = t.apply(px, py);
+                checksum = (checksum + Shader.shade(v, px, py)) % 1000003;
+            }
+        }
+        Sys.printInt(checksum);
+    }
+}
+"""
+
+_OPT = _SHADER + """
+class Matrix {
+    int[] m;
+    Matrix() {
+        m = new int[9];
+    }
+
+    // In-place operations: no clone per op.
+    void transposeInto(Matrix src) {
+        for (int r = 0; r < 3; r++) {
+            for (int col = 0; col < 3; col++) {
+                m[r * 3 + col] = src.m[col * 3 + r];
+            }
+        }
+    }
+
+    void scaleBy(int s) {
+        for (int i = 0; i < 9; i++) {
+            m[i] = (m[i] * s) / 1024;
+        }
+    }
+
+    int apply(int x, int y) {
+        int v = m[0] * x + m[1] * y + m[2]
+              + m[3] * x + m[4] * y + m[5];
+        return v / 1024;
+    }
+}
+
+class Main {
+    static void main() {
+        Matrix base = new Matrix();
+        for (int i = 0; i < 9; i++) {
+            base.m[i] = (i * 311 + 97) % 2048;
+        }
+        Matrix t = new Matrix();
+        int checksum = 0;
+        for (int y = 0; y < __H__; y++) {
+            t.transposeInto(base);
+            t.scaleBy(900 + (y % 7));
+            for (int x = 0; x < __W__; x++) {
+                // Values used directly: no encode/decode round trip.
+                int v = t.apply(x, y);
+                checksum = (checksum + Shader.shade(v, x, y)) % 1000003;
+            }
+        }
+        Sys.printInt(checksum);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="sunflow_like",
+    description="per-scanline matrix clones and float<->int bit round "
+                "trips in the pixel loop",
+    pattern="clone-per-operation temporaries; redundant representation "
+            "conversions",
+    paper_analogue="sunflow (9-15% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=(),
+    default_scale={"W": 64, "H": 48, "SHADE": 8},
+    small_scale={"W": 16, "H": 8, "SHADE": 3},
+    expected_speedup=(0.05, 0.3),
+))

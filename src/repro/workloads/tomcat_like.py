@@ -1,0 +1,272 @@
+"""tomcat analogue — servlet container (~2% speedup in the paper).
+
+Patterns reproduced from the case study:
+
+* ``util.Mapper``: each context add/remove allocates a brand-new sorted
+  array and copies the old one into it (the fix keeps two arrays and
+  ping-pongs between them);
+* ``getProperty``: property types dispatched by comparing class-name
+  strings ("Integer", "Boolean", ...) although only a handful of types
+  exist (the fix compares int type tags directly).
+
+tomcat was already well-tuned, so the expected improvement is small —
+that ordering is part of what the case-study bench checks.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class Requests {
+    // Request-path handling: the container's real work, identical in
+    // both variants.
+    static int handle(string path, int seed) {
+        int h = seed;
+        for (int r = 0; r < __HANDLE__; r++) {
+            int n = path.length();
+            for (int i = 0; i < n; i++) {
+                h = (h * 31 + path.charAt(i) + r) % 65521;
+            }
+        }
+        return h;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class Mapper {
+    string[] contexts;
+    int count;
+    Mapper() {
+        contexts = new string[0];
+        count = 0;
+    }
+
+    void addContext(string c) {
+        // A new array per update, old one discarded.
+        string[] bigger = new string[count + 1];
+        int i = 0;
+        while (i < count && Strings.cmp(contexts[i], c) < 0) {
+            bigger[i] = contexts[i];
+            i = i + 1;
+        }
+        bigger[i] = c;
+        for (int j = i; j < count; j++) {
+            bigger[j + 1] = contexts[j];
+        }
+        contexts = bigger;
+        count = count + 1;
+    }
+
+    void removeContext(string c) {
+        string[] smaller = new string[count - 1];
+        int j = 0;
+        for (int i = 0; i < count; i++) {
+            if (!Strings.eq(contexts[i], c)) {
+                smaller[j] = contexts[i];
+                j = j + 1;
+            }
+        }
+        contexts = smaller;
+        count = count - 1;
+    }
+
+    bool hasContext(string c) {
+        int lo = 0;
+        int hi = count - 1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            int cmp = Strings.cmp(contexts[mid], c);
+            if (cmp == 0) { return true; }
+            if (cmp < 0) { lo = mid + 1; } else { hi = mid - 1; }
+        }
+        return false;
+    }
+}
+
+class Prop {
+    string typeName;
+    int raw;
+    Prop(string typeName, int raw) {
+        this.typeName = typeName;
+        this.raw = raw;
+    }
+}
+
+class Props {
+    // Dispatch on class-name strings (the paper's getProperty).
+    static int value(Prop p) {
+        if (Strings.eq(p.typeName, "Integer")) { return p.raw; }
+        if (Strings.eq(p.typeName, "Boolean")) {
+            if (p.raw != 0) { return 1; }
+            return 0;
+        }
+        if (Strings.eq(p.typeName, "String")) { return p.raw % 256; }
+        return -1;
+    }
+}
+
+class Main {
+    static void main() {
+        Mapper mapper = new Mapper();
+        int found = 0;
+        int handled = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            for (int i = 0; i < __CTXS__; i++) {
+                mapper.addContext("/app" + ((round * 7 + i) % 50));
+            }
+            for (int i = 0; i < __LOOKUPS__; i++) {
+                string path = "/app" + (i % 60);
+                handled = (handled + Requests.handle(path, i)) % 1000003;
+                if (mapper.hasContext(path)) {
+                    found = found + 1;
+                }
+            }
+            while (mapper.count > 0) {
+                mapper.removeContext(mapper.contexts[0]);
+            }
+        }
+        int propSum = 0;
+        for (int i = 0; i < __PROPS__; i++) {
+            string kind = "Integer";
+            if (i % 3 == 1) { kind = "Boolean"; }
+            if (i % 3 == 2) { kind = "String"; }
+            Prop p = new Prop(kind, i * 13);
+            propSum = (propSum + Props.value(p)) % 1000003;
+        }
+        Sys.printInt(found);
+        Sys.print(" ");
+        Sys.printInt(propSum);
+        Sys.print(" ");
+        Sys.printInt(handled);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class Mapper {
+    string[] contexts;
+    string[] spare;
+    int count;
+    Mapper(int cap) {
+        contexts = new string[cap];
+        spare = new string[cap];
+        count = 0;
+    }
+
+    void addContext(string c) {
+        // Ping-pong between two long-lived arrays: no allocation.
+        int i = 0;
+        while (i < count && Strings.cmp(contexts[i], c) < 0) {
+            spare[i] = contexts[i];
+            i = i + 1;
+        }
+        spare[i] = c;
+        for (int j = i; j < count; j++) {
+            spare[j + 1] = contexts[j];
+        }
+        string[] tmp = contexts;
+        contexts = spare;
+        spare = tmp;
+        count = count + 1;
+    }
+
+    void removeContext(string c) {
+        int j = 0;
+        for (int i = 0; i < count; i++) {
+            if (!Strings.eq(contexts[i], c)) {
+                spare[j] = contexts[i];
+                j = j + 1;
+            }
+        }
+        string[] tmp = contexts;
+        contexts = spare;
+        spare = tmp;
+        count = count - 1;
+    }
+
+    bool hasContext(string c) {
+        int lo = 0;
+        int hi = count - 1;
+        while (lo <= hi) {
+            int mid = (lo + hi) / 2;
+            int cmp = Strings.cmp(contexts[mid], c);
+            if (cmp == 0) { return true; }
+            if (cmp < 0) { lo = mid + 1; } else { hi = mid - 1; }
+        }
+        return false;
+    }
+}
+
+class Prop {
+    int kind;  // 0 = Integer, 1 = Boolean, 2 = String
+    int raw;
+    Prop(int kind, int raw) {
+        this.kind = kind;
+        this.raw = raw;
+    }
+}
+
+class Props {
+    // Direct tag comparison instead of string comparison.
+    static int value(Prop p) {
+        if (p.kind == 0) { return p.raw; }
+        if (p.kind == 1) {
+            if (p.raw != 0) { return 1; }
+            return 0;
+        }
+        if (p.kind == 2) { return p.raw % 256; }
+        return -1;
+    }
+}
+
+class Main {
+    static void main() {
+        Mapper mapper = new Mapper(__CTXS__ + 1);
+        int found = 0;
+        int handled = 0;
+        for (int round = 0; round < __ROUNDS__; round++) {
+            for (int i = 0; i < __CTXS__; i++) {
+                mapper.addContext("/app" + ((round * 7 + i) % 50));
+            }
+            for (int i = 0; i < __LOOKUPS__; i++) {
+                string path = "/app" + (i % 60);
+                handled = (handled + Requests.handle(path, i)) % 1000003;
+                if (mapper.hasContext(path)) {
+                    found = found + 1;
+                }
+            }
+            while (mapper.count > 0) {
+                mapper.removeContext(mapper.contexts[0]);
+            }
+        }
+        int propSum = 0;
+        for (int i = 0; i < __PROPS__; i++) {
+            int kind = 0;
+            if (i % 3 == 1) { kind = 1; }
+            if (i % 3 == 2) { kind = 2; }
+            Prop p = new Prop(kind, i * 13);
+            propSum = (propSum + Props.value(p)) % 1000003;
+        }
+        Sys.printInt(found);
+        Sys.print(" ");
+        Sys.printInt(propSum);
+        Sys.print(" ");
+        Sys.printInt(handled);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="tomcat_like",
+    description="array-per-update context mapper and string-compare "
+                "type dispatch",
+    pattern="choice of unnecessarily expensive operations",
+    paper_analogue="tomcat (~2% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("strings",),
+    default_scale={"ROUNDS": 8, "CTXS": 20, "LOOKUPS": 30,
+                   "PROPS": 250, "HANDLE": 10},
+    small_scale={"ROUNDS": 2, "CTXS": 8, "LOOKUPS": 10, "PROPS": 40, "HANDLE": 3},
+    expected_speedup=(0.005, 0.35),
+))

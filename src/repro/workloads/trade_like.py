@@ -1,0 +1,229 @@
+"""trade analogue — transactional server (2.5% speedup in the paper).
+
+Patterns reproduced from the tradebeans/tradesoap case studies:
+
+* ``KeyBlock``: every account/holding ID request performs redundant
+  database queries and updates and wraps plain integers in a
+  KeyBlock + iterator (the fix uses an int array directly);
+* SOAP bean conversion (tradesoap): each transaction serializes the
+  Holding bean to a string representation and parses it back —
+  "large volumes of copies between different representations of the
+  same bean data";
+* phases: a ``startup`` / ``steady`` / ``shutdown`` structure so
+  §4.1's phase-restricted tracking experiment has something to skip.
+"""
+
+from .base import WorkloadSpec, register
+
+_SHARED = """
+class Db {
+    IntIntMap table;
+    int queries;
+    Db() {
+        table = new IntIntMap();
+        queries = 0;
+    }
+    int query(int key) {
+        queries = queries + 1;
+        return table.get(key, 0);
+    }
+    void update(int key, int value) {
+        table.put(key, value);
+    }
+}
+
+class Holding {
+    int account;
+    int symbol;
+    int quantity;
+    int price;
+    Holding(int account, int symbol, int quantity, int price) {
+        this.account = account;
+        this.symbol = symbol;
+        this.quantity = quantity;
+        this.price = price;
+    }
+    int worth() {
+        return quantity * price;
+    }
+}
+
+// The server's real work: order matching / settlement, identical in
+// both variants.
+class Engine {
+    static int settle(Holding h, Db db) {
+        int fee = 0;
+        for (int k = 0; k < __SETTLE__; k++) {
+            fee = (fee + h.quantity * (k + 3) + h.price * 7) % 65521;
+            fee = fee + ((fee >> 2) & 127);
+        }
+        db.update(1000 + h.symbol, h.worth());
+        int book = db.query(1000 + h.symbol);
+        return (fee + book) % 1000003;
+    }
+}
+"""
+
+_UNOPT = _SHARED + """
+class KeyBlock {
+    int lo;
+    int hi;
+    int next;
+    Db db;
+    KeyBlock(Db db, int kind) {
+        this.db = db;
+        // Redundant round trips: query, update, query again.
+        int base = db.query(kind);
+        db.update(kind, base + __BLOCK__);
+        int check = db.query(kind);
+        lo = base;
+        hi = check;
+        next = base;
+    }
+    bool hasNext() {
+        return next < hi;
+    }
+    int nextKey() {
+        int k = next;
+        next = next + 1;
+        return k;
+    }
+}
+
+class KeyIterator {
+    KeyBlock block;
+    KeyIterator(KeyBlock block) {
+        this.block = block;
+    }
+    bool hasNext() {
+        return block.hasNext();
+    }
+    int next() {
+        return block.nextKey();
+    }
+}
+
+class Soap {
+    // convertXBean analogue: serialize the bean, then parse it back.
+    static string serialize(Holding h) {
+        StrBuilder sb = new StrBuilder();
+        sb.addInt(h.account);
+        sb.add(",");
+        sb.addInt(h.symbol);
+        sb.add(",");
+        sb.addInt(h.quantity);
+        sb.add(",");
+        sb.addInt(h.price);
+        return sb.toStr();
+    }
+    static Holding parse(string data) {
+        int[] fields = new int[4];
+        int fieldIndex = 0;
+        int acc = 0;
+        for (int i = 0; i < data.length(); i++) {
+            int c = data.charAt(i);
+            if (c == 44) {
+                fields[fieldIndex] = acc;
+                fieldIndex = fieldIndex + 1;
+                acc = 0;
+            } else {
+                acc = acc * 10 + (c - 48);
+            }
+        }
+        fields[fieldIndex] = acc;
+        return new Holding(fields[0], fields[1], fields[2], fields[3]);
+    }
+}
+
+class Main {
+    static void main() {
+        Sys.phase("startup");
+        Db db = new Db();
+        for (int i = 0; i < __WARMUP__; i++) {
+            db.update(i % 7, i);
+        }
+
+        Sys.phase("steady");
+        int worth = 0;
+        for (int txn = 0; txn < __TXNS__; txn++) {
+            // Wrapper objects + redundant queries per ID request.
+            KeyBlock block = new KeyBlock(db, txn % 3);
+            KeyIterator it = new KeyIterator(block);
+            int id = 0;
+            if (it.hasNext()) {
+                id = it.next();
+            }
+            Holding h = new Holding(id, txn % 40, 1 + txn % 9,
+                                    10 + txn % 90);
+            // SOAP round trip on every transaction.
+            Holding converted = Soap.parse(Soap.serialize(h));
+            worth = (worth + converted.worth()
+                + Engine.settle(converted, db)) % 1000003;
+        }
+
+        Sys.phase("shutdown");
+        Sys.printInt(worth);
+    }
+}
+"""
+
+_OPT = _SHARED + """
+class KeyCounter {
+    int[] next;
+    Db db;
+    KeyCounter(Db db, int kinds) {
+        this.db = db;
+        next = new int[kinds];
+        for (int i = 0; i < kinds; i++) {
+            next[i] = db.query(i);
+            db.update(i, next[i] + __BLOCK__ * __TXNS__);
+        }
+    }
+    int nextKey(int kind) {
+        int k = next[kind];
+        next[kind] = k + __BLOCK__;
+        return k;
+    }
+}
+
+class Main {
+    static void main() {
+        Sys.phase("startup");
+        Db db = new Db();
+        for (int i = 0; i < __WARMUP__; i++) {
+            db.update(i % 7, i);
+        }
+
+        Sys.phase("steady");
+        // One query per kind up front; plain ints afterwards.
+        KeyCounter keys = new KeyCounter(db, 3);
+        int worth = 0;
+        for (int txn = 0; txn < __TXNS__; txn++) {
+            int id = keys.nextKey(txn % 3);
+            Holding h = new Holding(id, txn % 40, 1 + txn % 9,
+                                    10 + txn % 90);
+            // Direct use: no serialize/parse round trip.
+            worth = (worth + h.worth() + Engine.settle(h, db)) % 1000003;
+        }
+
+        Sys.phase("shutdown");
+        Sys.printInt(worth);
+    }
+}
+"""
+
+SPEC = register(WorkloadSpec(
+    name="trade_like",
+    description="ID wrappers with redundant DB round trips and SOAP "
+                "bean copying",
+    pattern="temporary wrappers carrying data across calls; redundant "
+            "representation conversions",
+    paper_analogue="tradebeans/tradesoap (2.5% speedup after fix)",
+    source_unopt=_UNOPT,
+    source_opt=_OPT,
+    stdlib_modules=("intmap", "strbuilder"),
+    default_scale={"TXNS": 60, "WARMUP": 100, "BLOCK": 10,
+                   "SETTLE": 900},
+    small_scale={"TXNS": 10, "WARMUP": 20, "BLOCK": 5, "SETTLE": 50},
+    expected_speedup=(0.01, 0.8),
+))

@@ -1,0 +1,39 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import VM
+
+
+def run_source(source: str, tracer=None, max_steps: int = 50_000_000):
+    """Compile + run MiniJ source; return the finished VM."""
+    program = compile_source(source)
+    vm = VM(program, tracer=tracer, max_steps=max_steps)
+    vm.run()
+    return vm
+
+
+def run_main(body: str, extra: str = "", tracer=None):
+    """Run a main() whose body is ``body``; return the VM."""
+    source = f"""
+{extra}
+class Main {{
+    static void main() {{
+{body}
+    }}
+}}
+"""
+    return run_source(source, tracer=tracer)
+
+
+def out_of(body: str, extra: str = "") -> str:
+    """The program output of a main() body."""
+    return run_main(body, extra).stdout()
+
+
+@pytest.fixture
+def compile_run():
+    return run_source

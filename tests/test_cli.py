@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+class Entry {
+    int a;
+    Entry(int x) { a = x * 7 + 3; }
+}
+class Main {
+    static void main() {
+        Entry[] kept = new Entry[10];
+        int n = 0;
+        for (int i = 0; i < 10; i++) {
+            kept[i] = new Entry(i);
+            n = n + 1;
+        }
+        Sys.printInt(n);
+    }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.mj"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def test_run(demo_file, capsys):
+    assert main(["run", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "10" in out
+
+
+def test_run_no_stdlib(demo_file, capsys):
+    assert main(["run", demo_file, "--no-stdlib"]) == 0
+    assert "10" in capsys.readouterr().out
+
+
+def test_disasm(demo_file, capsys):
+    assert main(["disasm", demo_file, "--no-stdlib"]) == 0
+    out = capsys.readouterr().out
+    assert "class Main" in out
+    assert "new Entry" in out
+
+
+def test_profile_all_reports(demo_file, capsys):
+    assert main(["profile", demo_file, "--no-stdlib"]) == 0
+    out = capsys.readouterr().out
+    assert "object cost-benefit" in out
+    assert "ultimately-dead" in out
+    assert "method-level costs" in out
+    assert "cache effectiveness" in out
+
+
+def test_profile_single_report(demo_file, capsys):
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "cost-benefit", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "object cost-benefit" in out
+    assert "method-level costs" not in out
+
+
+def test_profile_save_and_analyze(demo_file, tmp_path, capsys):
+    graph_path = str(tmp_path / "g.json")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["analyze", graph_path, demo_file,
+                 "--no-stdlib"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded graph" in out
+    assert "new Entry" in out
+
+
+def test_profile_with_phases(demo_file, capsys):
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--phases", "main"]) == 0
+    assert "graph" in capsys.readouterr().out
+
+
+def test_workloads_list(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "bloat_like" in out
+    assert "luindex_like" in out
+
+
+def test_workloads_run_small(capsys):
+    assert main(["workloads", "chart_like", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "unopt" in out and "opt" in out
+
+
+def test_max_steps_guard(demo_file, capsys):
+    assert main(["run", demo_file, "--max-steps", "5"]) == 1
+    err = capsys.readouterr().err
+    assert "instruction budget" in err
+
+
+class TestCleanErrors:
+    """User mistakes produce one-line errors and exit 1, not
+    tracebacks."""
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "ghost.mj"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot open" in err
+
+    def test_compile_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.mj"
+        path.write_text("class Main { static void main() { int x = ; } }")
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "Traceback" not in err
+
+    def test_runtime_error(self, tmp_path, capsys):
+        path = tmp_path / "npe.mj"
+        path.write_text("class A { int v; }\nclass Main "
+                        "{ static void main() { A a = null; "
+                        "Sys.printInt(a.v); } }")
+        assert main(["run", str(path), "--no-stdlib"]) == 1
+        err = capsys.readouterr().err
+        assert "null dereference" in err
+        assert "Main.main" in err
+
+    def test_unknown_workload_clean(self, capsys):
+        assert main(["workloads", "ghost_like"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err

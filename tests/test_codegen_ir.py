@@ -1,0 +1,163 @@
+"""Tests that inspect the generated TAC (codegen lowering decisions)."""
+
+from repro.ir import instructions as ins
+from repro.lang import compile_source
+
+
+def main_body(body, extra=""):
+    program = compile_source(
+        f"{extra}\nclass Main {{ static void main() {{ {body} }} }}")
+    return program, program.entry.body
+
+
+def ops_of(body, extra=""):
+    _, instrs = main_body(body, extra)
+    return [i.op for i in instrs]
+
+
+class TestLowering:
+    def test_var_decl_with_init_emits_move(self):
+        _, instrs = main_body("int x = 5;")
+        assert instrs[0].op == ins.OP_CONST
+        assert instrs[1].op == ins.OP_MOVE
+
+    def test_var_decl_without_init_emits_default(self):
+        _, instrs = main_body("int x; bool b; string s;")
+        consts = [i for i in instrs if i.op == ins.OP_CONST]
+        assert consts[0].value == 0
+        assert consts[1].value is False
+        assert consts[2].value is None
+
+    def test_compound_assignment_reads_then_writes(self):
+        extra = "class C { int v; }"
+        _, instrs = main_body("C c = new C(); c.v += 3;", extra)
+        ops = [i.op for i in instrs]
+        load = ops.index(ins.OP_LOAD_FIELD)
+        store = ops.index(ins.OP_STORE_FIELD)
+        assert load < store
+        binop = next(i for i in instrs if i.op == ins.OP_BINOP)
+        assert binop.binop == "+"
+
+    def test_string_equality_lowered_to_seq(self):
+        _, instrs = main_body('bool b = "a" == "b";')
+        intr = [i for i in instrs if i.op == ins.OP_INTRINSIC]
+        assert intr and intr[0].intr == ins.INTR_SEQ
+
+    def test_string_inequality_adds_not(self):
+        _, instrs = main_body('bool b = "a" != "b";')
+        assert any(i.op == ins.OP_UNOP and i.unop == ins.UN_NOT
+                   for i in instrs)
+
+    def test_concat_inserts_itos_for_ints(self):
+        _, instrs = main_body('string s = "n" + 42;')
+        intr = [i for i in instrs if i.op == ins.OP_INTRINSIC]
+        assert any(i.intr == ins.INTR_ITOS for i in intr)
+        assert any(i.op == ins.OP_BINOP
+                   and i.binop == ins.BIN_CONCAT for i in instrs)
+
+    def test_short_circuit_compiles_to_branch(self):
+        _, instrs = main_body("bool b = 1 < 2 && 3 < 4;")
+        branches = [i for i in instrs if i.op == ins.OP_BRANCH]
+        # One branch for the &&; none for any if.
+        assert len(branches) == 1
+
+    def test_if_without_else_single_branch(self):
+        _, instrs = main_body("if (1 < 2) { Sys.printInt(1); }")
+        branches = [i for i in instrs if i.op == ins.OP_BRANCH]
+        assert len(branches) == 1
+        jumps = [i for i in instrs if i.op == ins.OP_JUMP]
+        assert not jumps  # no else -> no skip jump needed
+
+    def test_new_emits_alloc_then_ctor_call(self):
+        extra = "class P { P(int v) { } }"
+        _, instrs = main_body("P p = new P(1);", extra)
+        ops = [i.op for i in instrs]
+        alloc = ops.index(ins.OP_NEW_OBJECT)
+        call = ops.index(ins.OP_CALL)
+        assert alloc < call
+        call_instr = instrs[call]
+        assert call_instr.kind == ins.CALL_SPECIAL
+        assert call_instr.method_name == "<init>"
+
+    def test_default_ctor_generated(self):
+        program, _ = main_body("int x = 0;", extra="class Empty {}")
+        empty = program.get_class("Empty")
+        ctor = empty.methods["<init>"]
+        assert ctor.is_constructor
+        assert ctor.body[-1].op == ins.OP_RETURN
+
+    def test_native_call_lowered(self):
+        _, instrs = main_body('Sys.println("x");')
+        natives = [i for i in instrs if i.op == ins.OP_CALL_NATIVE]
+        assert natives and natives[0].native == "println"
+
+    def test_implicit_void_return_appended(self):
+        _, instrs = main_body("int x = 1;")
+        assert instrs[-1].op == ins.OP_RETURN
+        assert instrs[-1].src is None
+
+    def test_loop_ending_method_still_terminates(self):
+        program = compile_source("""
+class W {
+    static void spin(int n) {
+        for (int i = 0; i < n; i++) { }
+    }
+}
+class Main { static void main() { W.spin(3); } }
+""")
+        spin = program.get_class("W").methods["spin"]
+        assert spin.body[-1].op == ins.OP_RETURN
+
+    def test_virtual_vs_static_call_kinds(self):
+        extra = """
+class S {
+    static int f() { return 1; }
+    int g() { return 2; }
+}
+"""
+        _, instrs = main_body(
+            "S s = new S(); int a = S.f(); int b = s.g();", extra)
+        kinds = [i.kind for i in instrs if i.op == ins.OP_CALL]
+        assert ins.CALL_SPECIAL in kinds  # ctor
+        assert ins.CALL_STATIC in kinds
+        assert ins.CALL_VIRTUAL in kinds
+
+    def test_implicit_this_field_access(self):
+        program = compile_source("""
+class C {
+    int v;
+    int get() { return v; }
+}
+class Main { static void main() { } }
+""")
+        get = program.get_class("C").methods["get"]
+        loads = [i for i in get.body if i.op == ins.OP_LOAD_FIELD]
+        assert loads and loads[0].obj == "this"
+
+    def test_line_numbers_recorded(self):
+        program = compile_source("""class Main {
+    static void main() {
+        int x = 1;
+        Sys.printInt(x);
+    }
+}""")
+        lines = {i.line for i in program.entry.body}
+        assert 3 in lines and 4 in lines
+
+    def test_incdec_lowered_to_add(self):
+        _, instrs = main_body("int i = 0; i++; i--;")
+        binops = [i.binop for i in instrs if i.op == ins.OP_BINOP]
+        assert binops == ["+", "-"]
+
+    def test_string_append_compound_concat(self):
+        _, instrs = main_body('string s = "a"; s += 1;')
+        assert any(i.op == ins.OP_BINOP and i.binop == ins.BIN_CONCAT
+                   for i in instrs)
+        assert any(i.op == ins.OP_INTRINSIC
+                   and i.intr == ins.INTR_ITOS for i in instrs)
+
+    def test_registers_unique_per_scope(self):
+        _, instrs = main_body("{ int x = 1; } { int x = 2; }")
+        moves = [i.dest for i in instrs if i.op == ins.OP_MOVE]
+        assert len(moves) == 2
+        assert moves[0] != moves[1]  # distinct registers per scope

@@ -1,0 +1,167 @@
+"""Tests for cost computation (Definitions 3-4) and Figure-1 baselines."""
+
+from conftest import run_main
+from repro.analyses import (ConcreteThinSlicer, TaintCostTracker,
+                            absolute_cost, abstract_cost,
+                            sink_costs_from_graph)
+from repro.profiler import CostTracker, F_NATIVE
+from repro.profiler.graph import DependenceGraph
+
+FIG1_EXTRA = """
+class F {
+    static int f(int e) { return e >> 2; }
+}
+"""
+
+FIG1_BODY = """
+int a = 0;
+int c = F.f(a);
+int d = c * 3;
+int b = c + d;
+Sys.printInt(b);
+"""
+
+
+class TestAbstractCost:
+    def test_cost_of_root_is_own_frequency(self):
+        graph = DependenceGraph()
+        root = graph.node(1, 0)
+        graph.node(1, 0)  # freq 2
+        assert abstract_cost(graph, root) == 2
+
+    def test_cost_sums_reachable_frequencies(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(2, 0)
+        c = graph.node(3, 0)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.node(1, 0)  # bump a to 2
+        assert abstract_cost(graph, c) == 4
+
+    def test_shared_subexpression_counted_once(self):
+        graph = DependenceGraph()
+        shared = graph.node(1, 0)
+        left = graph.node(2, 0)
+        right = graph.node(3, 0)
+        sink = graph.node(4, 0)
+        graph.add_edge(shared, left)
+        graph.add_edge(shared, right)
+        graph.add_edge(left, sink)
+        graph.add_edge(right, sink)
+        assert abstract_cost(graph, sink) == 4  # not 5
+
+    def test_absolute_cost_counts_nodes(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(2, 1)
+        graph.add_edge(a, b)
+        assert absolute_cost(graph, b) == 2
+
+
+class TestFigure1:
+    def test_taint_double_counts(self):
+        taint = TaintCostTracker()
+        run_main(FIG1_BODY, extra=FIG1_EXTRA, tracer=taint)
+        concrete = ConcreteThinSlicer()
+        run_main(FIG1_BODY, extra=FIG1_EXTRA, tracer=concrete)
+        taint_cost = taint.sink_costs[0]
+        exact = sink_costs_from_graph(concrete.graph, exact=True)[0]
+        assert taint_cost > exact
+
+    def test_abstract_equals_exact_without_context_merging(self):
+        concrete = ConcreteThinSlicer()
+        run_main(FIG1_BODY, extra=FIG1_EXTRA, tracer=concrete)
+        tracked = CostTracker(slots=16)
+        run_main(FIG1_BODY, extra=FIG1_EXTRA, tracer=tracked)
+        exact = sink_costs_from_graph(concrete.graph, exact=True)[0]
+        abstract = sink_costs_from_graph(tracked.graph)[0]
+        assert abstract == exact
+
+    def test_abstract_cost_upper_bounds_exact_in_loops(self):
+        """With merging (a loop), abstract cost may exceed the exact
+        per-instance cost but never undercounts the final value's
+        slice."""
+        body = """
+int acc = 0;
+for (int i = 0; i < 5; i++) { acc = acc + i; }
+Sys.printInt(acc);
+"""
+        concrete = ConcreteThinSlicer()
+        run_main(body, tracer=concrete)
+        tracked = CostTracker(slots=16)
+        run_main(body, tracer=tracked)
+        exact = sink_costs_from_graph(concrete.graph, exact=True)[0]
+        abstract = sink_costs_from_graph(tracked.graph)[0]
+        assert abstract >= exact
+
+
+class TestConcreteSlicer:
+    def test_nodes_grow_with_trace(self):
+        body = """
+int acc = 0;
+for (int i = 0; i < 50; i++) { acc = acc + i; }
+Sys.printInt(acc);
+"""
+        concrete = ConcreteThinSlicer()
+        vm = run_main(body, tracer=concrete)
+        abstract = CostTracker(slots=16)
+        run_main(body, tracer=abstract)
+        assert concrete.graph.num_nodes > 5 * abstract.graph.num_nodes
+        # Every non-consumer concrete node is a single instance
+        # (consumer nodes — predicates/natives — stay contextless and
+        # accumulate frequency even in the concrete graph).
+        cg = concrete.graph
+        assert all(cg.freq[n] == 1 for n in range(cg.num_nodes)
+                   if not cg.is_consumer(n))
+        assert vm.finished
+
+    def test_node_budget_enforced(self):
+        import pytest
+        concrete = ConcreteThinSlicer(max_nodes=10)
+        with pytest.raises(MemoryError, match="exceeded"):
+            run_main("""
+int acc = 0;
+for (int i = 0; i < 100; i++) { acc = acc + i; }
+Sys.printInt(acc);
+""", tracer=concrete)
+
+
+class TestTaintTracker:
+    def test_sink_costs_collected_per_native(self):
+        taint = TaintCostTracker()
+        run_main("Sys.printInt(1); Sys.printInt(2 + 3);", tracer=taint)
+        assert len(taint.sink_costs) == 2
+        assert taint.sink_costs[1] > taint.sink_costs[0]
+
+    def test_costs_flow_through_heap(self):
+        extra = "class Box { int v; }"
+        taint = TaintCostTracker()
+        run_main("Box b = new Box(); b.v = 1 + 2 + 3; "
+                 "Sys.printInt(b.v);", extra=extra, tracer=taint)
+        assert taint.sink_costs[0] > 3
+
+    def test_costs_flow_through_calls(self):
+        extra = """
+class H { static int pass(int v) { return v; } }
+"""
+        taint = TaintCostTracker()
+        run_main("Sys.printInt(H.pass(1 + 2));", extra=extra,
+                 tracer=taint)
+        assert taint.sink_costs[0] >= 3
+
+
+def test_sink_costs_empty_without_natives():
+    graph = DependenceGraph()
+    graph.node(1, 0)
+    assert sink_costs_from_graph(graph) == []
+
+
+def test_sink_costs_one_per_incoming_value():
+    graph = DependenceGraph()
+    a = graph.node(1, 0)
+    b = graph.node(2, 0)
+    sink = graph.node(3, -1, F_NATIVE)
+    graph.add_edge(a, sink)
+    graph.add_edge(b, sink)
+    assert sorted(sink_costs_from_graph(graph)) == [1, 1]

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs and prints expected markers."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Low-utility data structures" in out
+    assert "new Entry" in out
+    assert "IPD" in out
+
+
+def test_diagnose_workload():
+    out = run_example("diagnose_workload.py", "chart_like")
+    assert "object cost-benefit ranking" in out
+    assert "method-level costs" in out
+    assert "new Point" in out
+
+
+def test_null_origin():
+    out = run_example("null_origin.py")
+    assert "null created at line" in out
+    assert "propagation" in out
+
+
+def test_typestate_file():
+    out = run_example("typestate_file.py")
+    assert "typestate violation" in out
+    assert "--create-->" in out
+
+
+def test_copy_chains():
+    out = run_example("copy_chains.py")
+    assert "copy fraction" in out
+    assert "account" in out
+
+
+def test_optimize_case_study():
+    out = run_example("optimize_case_study.py", "chart_like")
+    assert "outputs identical:       yes" in out
+    assert "reduction" in out
+
+
+@pytest.mark.slow
+def test_phase_tracking():
+    out = run_example("phase_tracking.py")
+    assert "steady-only" in out
+    assert "whole-program" in out
+
+
+def test_cache_analysis():
+    out = run_example("cache_analysis.py")
+    assert "effective cache" in out
+    assert "GoodCache" in out
+
+
+def test_custom_domain():
+    out = run_example("custom_domain.py")
+    assert "range domain" in out
+    assert "large value" in out

@@ -1,0 +1,388 @@
+"""End-to-end execution semantics: compile MiniJ, run, check output.
+
+These tests pin the language semantics the workloads rely on: Java-style
+integer division, short-circuit evaluation, dynamic dispatch, array and
+string behaviour, and control flow.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import out_of, run_main
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert out_of("Sys.printInt(2 + 3 * 4 - 5);") == "9"
+
+    def test_division_truncates_toward_zero(self):
+        assert out_of("Sys.printInt(7 / 2);") == "3"
+        assert out_of("Sys.printInt(-7 / 2);") == "-3"
+        assert out_of("Sys.printInt(7 / -2);") == "-3"
+        assert out_of("Sys.printInt(-7 / -2);") == "3"
+
+    def test_remainder_follows_dividend(self):
+        assert out_of("Sys.printInt(7 % 3);") == "1"
+        assert out_of("Sys.printInt(-7 % 3);") == "-1"
+        assert out_of("Sys.printInt(7 % -3);") == "1"
+
+    def test_shifts(self):
+        assert out_of("Sys.printInt(1 << 4);") == "16"
+        assert out_of("Sys.printInt(256 >> 3);") == "32"
+
+    def test_bitwise(self):
+        assert out_of("Sys.printInt(12 & 10);") == "8"
+        assert out_of("Sys.printInt(12 | 10);") == "14"
+        assert out_of("Sys.printInt(12 ^ 10);") == "6"
+
+    def test_unary_minus(self):
+        assert out_of("int x = 5; Sys.printInt(-x);") == "-5"
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_java_division_matches_reference(self, a, b):
+        if b == 0:
+            return
+        out = out_of(f"Sys.printInt({a} / ({b})); Sys.print(\" \"); "
+                     f"Sys.printInt({a} % ({b}));")
+        q, r = map(int, out.split())
+        # Java: q truncates toward zero; a == q*b + r.
+        assert q == int(a / b)
+        assert q * b + r == a
+
+
+class TestBooleansAndShortCircuit:
+    def test_short_circuit_and_skips_rhs(self):
+        body = """
+int[] a = new int[1];
+bool b = false && a[5] == 0;   // would be out of bounds
+Sys.printBool(b);
+"""
+        assert out_of(body) == "false"
+
+    def test_short_circuit_or_skips_rhs(self):
+        body = """
+int[] a = new int[1];
+bool b = true || a[5] == 0;
+Sys.printBool(b);
+"""
+        assert out_of(body) == "true"
+
+    def test_non_short_circuit_bitwise_bool(self):
+        assert out_of("Sys.printBool(true & false);") == "false"
+        assert out_of("Sys.printBool(true | false);") == "true"
+
+    def test_not(self):
+        assert out_of("Sys.printBool(!(1 < 2));") == "false"
+
+    @given(st.booleans(), st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_truth_tables(self, a, b):
+        sa = "true" if a else "false"
+        sb = "true" if b else "false"
+        out = out_of(f"Sys.printBool({sa} && {sb}); Sys.print(\" \");"
+                     f"Sys.printBool({sa} || {sb});")
+        got_and, got_or = out.split()
+        assert (got_and == "true") == (a and b)
+        assert (got_or == "true") == (a or b)
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert out_of("int s = 0; int i = 0; "
+                      "while (i < 5) { s += i; i++; } "
+                      "Sys.printInt(s);") == "10"
+
+    def test_for_loop(self):
+        assert out_of("int s = 0; "
+                      "for (int i = 1; i <= 4; i++) { s *= 10; s += i; }"
+                      " Sys.printInt(s);") == "1234"
+
+    def test_break(self):
+        assert out_of("int i = 0; while (true) { if (i == 3) { break; }"
+                      " i++; } Sys.printInt(i);") == "3"
+
+    def test_continue(self):
+        assert out_of("int s = 0; for (int i = 0; i < 6; i++) { "
+                      "if (i % 2 == 0) { continue; } s += i; } "
+                      "Sys.printInt(s);") == "9"
+
+    def test_nested_loops_break_inner_only(self):
+        body = """
+int count = 0;
+for (int i = 0; i < 3; i++) {
+    for (int j = 0; j < 10; j++) {
+        if (j == 2) { break; }
+        count++;
+    }
+}
+Sys.printInt(count);
+"""
+        assert out_of(body) == "6"
+
+    def test_if_else_chains(self):
+        body = """
+for (int i = 0; i < 4; i++) {
+    if (i == 0) { Sys.print("a"); }
+    else if (i == 1) { Sys.print("b"); }
+    else { Sys.print("c"); }
+}
+"""
+        assert out_of(body) == "abcc"
+
+    def test_for_scope_isolated(self):
+        assert out_of("for (int i = 0; i < 2; i++) { } "
+                      "for (int i = 5; i < 7; i++) { Sys.printInt(i); }"
+                      ) == "56"
+
+
+class TestStrings:
+    def test_concat_and_conversion(self):
+        assert out_of('Sys.println("n=" + 42 + "!");') == "n=42!\n"
+
+    def test_length_charat(self):
+        assert out_of('string s = "abc"; Sys.printInt(s.length()); '
+                      "Sys.printInt(s.charAt(1));") == "398"
+
+    def test_equality_is_value_equality(self):
+        assert out_of('string a = "xy"; string b = "x" + "y"; '
+                      "Sys.printBool(a == b);") == "true"
+
+    def test_equals_method(self):
+        assert out_of('Sys.printBool("abc".equals("abc"));') == "true"
+        assert out_of('Sys.printBool("abc".equals("abd"));') == "false"
+
+    def test_compare(self):
+        assert out_of('Sys.printInt("a".compare("b"));') == "-1"
+        assert out_of('Sys.printInt("b".compare("a"));') == "1"
+        assert out_of('Sys.printInt("a".compare("a"));') == "0"
+
+    def test_hash_deterministic_java_compatible(self):
+        # Java's "abc".hashCode() == 96354.
+        assert out_of('Sys.printInt("abc".hash());') == "96354"
+
+    def test_str_ofint_chr(self):
+        assert out_of("Sys.print(Str.ofInt(-7));") == "-7"
+        assert out_of("Sys.print(Str.chr(65));") == "A"
+
+    def test_string_append_compound(self):
+        assert out_of('string s = "a"; s += "b"; s += 3; '
+                      "Sys.print(s);") == "ab3"
+
+    def test_concat_null_renders_like_java(self):
+        assert out_of('string s = null; Sys.print("x" + s);') == "xnull"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126,
+                                          exclude_characters='"\\'),
+                   max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_length_matches_python(self, text):
+        assert out_of(f'Sys.printInt("{text}".length());') == \
+            str(len(text))
+
+
+class TestObjects:
+    def test_constructor_and_fields(self):
+        extra = """
+class Point {
+    int x;
+    int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    int manhattan() { return x + y; }
+}
+"""
+        assert out_of("Point p = new Point(3, 4); "
+                      "Sys.printInt(p.manhattan());", extra) == "7"
+
+    def test_default_field_values(self):
+        extra = """
+class Box { int i; bool b; string s; Box other; }
+"""
+        body = """
+Box box = new Box();
+Sys.printInt(box.i);
+Sys.printBool(box.b);
+Sys.printBool(box.s == null);
+Sys.printBool(box.other == null);
+"""
+        assert out_of(body, extra) == "0falsetruetrue"
+
+    def test_dynamic_dispatch(self):
+        extra = """
+class Animal { string speak() { return "?"; } }
+class Dog extends Animal { string speak() { return "woof"; } }
+class Cat extends Animal { string speak() { return "meow"; } }
+"""
+        body = """
+Animal a = new Dog();
+Animal b = new Cat();
+Sys.print(a.speak() + b.speak());
+"""
+        assert out_of(body, extra) == "woofmeow"
+
+    def test_inherited_method_sees_overridden_callee(self):
+        extra = """
+class Base {
+    string describe() { return "I say " + this.noise(); }
+    string noise() { return "..."; }
+}
+class Loud extends Base {
+    string noise() { return "HEY"; }
+}
+"""
+        assert out_of("Sys.print(new Loud().describe());", extra) == \
+            "I say HEY"
+
+    def test_super_constructor_chain(self):
+        extra = """
+class A { int x; A(int x) { this.x = x; } }
+class B extends A { int y; B(int x, int y) { super(x); this.y = y; } }
+"""
+        assert out_of("B b = new B(2, 3); Sys.printInt(b.x + b.y);",
+                      extra) == "5"
+
+    def test_reference_identity_equality(self):
+        extra = "class O {}"
+        body = """
+O a = new O();
+O b = new O();
+O c = a;
+Sys.printBool(a == b);
+Sys.printBool(a == c);
+Sys.printBool(a != b);
+"""
+        assert out_of(body, extra) == "falsetruetrue"
+
+    def test_recursion(self):
+        extra = """
+class Math2 {
+    static int fib(int n) {
+        if (n < 2) { return n; }
+        return Math2.fib(n - 1) + Math2.fib(n - 2);
+    }
+}
+"""
+        assert out_of("Sys.printInt(Math2.fib(12));", extra) == "144"
+
+    def test_static_fields_shared(self):
+        extra = """
+class Counter {
+    static int count;
+    static void bump() { count = count + 1; }
+}
+"""
+        assert out_of("Counter.bump(); Counter.bump(); Counter.bump(); "
+                      "Sys.printInt(Counter.count);", extra) == "3"
+
+    def test_mutual_recursion(self):
+        extra = """
+class Even {
+    static bool isEven(int n) {
+        if (n == 0) { return true; }
+        return Even.isOdd(n - 1);
+    }
+    static bool isOdd(int n) {
+        if (n == 0) { return false; }
+        return Even.isEven(n - 1);
+    }
+}
+"""
+        assert out_of("Sys.printBool(Even.isEven(10)); "
+                      "Sys.printBool(Even.isOdd(7));", extra) == \
+            "truetrue"
+
+
+class TestArrays:
+    def test_store_load(self):
+        assert out_of("int[] a = new int[3]; a[0] = 5; a[2] = 7; "
+                      "Sys.printInt(a[0] + a[1] + a[2]);") == "12"
+
+    def test_length(self):
+        assert out_of("bool[] b = new bool[9]; "
+                      "Sys.printInt(b.length);") == "9"
+
+    def test_array_of_refs_defaults_null(self):
+        extra = "class O {}"
+        assert out_of("O[] os = new O[2]; "
+                      "Sys.printBool(os[1] == null);", extra) == "true"
+
+    def test_array_of_arrays(self):
+        body = """
+int[][] grid = new int[3][];
+for (int i = 0; i < 3; i++) {
+    grid[i] = new int[2];
+    grid[i][1] = i * 10;
+}
+Sys.printInt(grid[0][1] + grid[1][1] + grid[2][1]);
+"""
+        assert out_of(body) == "30"
+
+    def test_aliasing(self):
+        assert out_of("int[] a = new int[2]; int[] b = a; b[0] = 9; "
+                      "Sys.printInt(a[0]);") == "9"
+
+    def test_compound_assignment_on_elements(self):
+        assert out_of("int[] a = new int[1]; a[0] = 5; a[0] += 3; "
+                      "a[0] *= 2; Sys.printInt(a[0]);") == "16"
+
+    def test_zero_length_array(self):
+        assert out_of("int[] a = new int[0]; "
+                      "Sys.printInt(a.length);") == "0"
+
+
+class TestEvaluationOrder:
+    def test_args_evaluated_left_to_right(self):
+        extra = """
+class T {
+    static int tick(int which) {
+        Sys.printInt(which);
+        return which;
+    }
+    static int sum(int a, int b, int c) { return a + b + c; }
+}
+"""
+        assert out_of("int s = T.sum(T.tick(1), T.tick(2), T.tick(3)); "
+                      "Sys.printInt(s);", extra) == "1236"
+
+    def test_binary_lhs_before_rhs(self):
+        extra = """
+class T {
+    static int tick(int which) { Sys.printInt(which); return which; }
+}
+"""
+        assert out_of("int v = T.tick(1) - T.tick(2); Sys.printInt(v);",
+                      extra) == "12-1"
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """Random int expression with guaranteed non-zero divisors."""
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(-50, 50)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    lhs = draw(arith_expr(depth + 1))
+    rhs = draw(arith_expr(depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+@given(arith_expr())
+@settings(max_examples=30, deadline=None)
+def test_arithmetic_matches_python(expr):
+    """+, -, * agree with Python on arbitrary expression trees."""
+    expected = eval(expr)  # noqa: S307 - generated arithmetic only
+    assert out_of(f"Sys.printInt({expr});") == str(expected)
+
+
+def test_tracked_run_identical_output():
+    """Instrumentation must not change semantics."""
+    from repro.profiler import CostTracker
+    body = """
+int acc = 0;
+for (int i = 0; i < 40; i++) { acc = (acc * 3 + i) % 1000; }
+Sys.printInt(acc);
+"""
+    plain = run_main(body)
+    traced = run_main(body, tracer=CostTracker())
+    assert plain.stdout() == traced.stdout()
+    assert plain.instr_count == traced.instr_count

@@ -1,0 +1,351 @@
+"""Tests for the extension features: cache effectiveness, multi-hop
+cost/benefit, control-inclusive cost, return-value costs, and graph
+serialization."""
+
+import pytest
+
+from conftest import run_main
+from repro.analyses import (INFINITE, analyze_caches,
+                            control_inclusive_hrac, format_cache_report,
+                            hrab, hrac, multi_hop_hrab, multi_hop_hrac,
+                            return_costs)
+from repro.profiler import (CostTracker, F_HEAP_READ, F_HEAP_WRITE,
+                            F_NATIVE, DependenceGraph, graph_from_dict,
+                            graph_to_dict, load_graph, save_graph)
+
+
+def traced(body, extra="", **kwargs):
+    tracker = CostTracker(slots=16, **kwargs)
+    vm = run_main(body, extra=extra, tracer=tracker)
+    return vm, tracker
+
+
+class TestMultiHop:
+    def _hop_chain(self):
+        """producer -> store1 ... load1 -> compute -> store2."""
+        graph = DependenceGraph()
+        producer = graph.node(0, 0)
+        for _ in range(49):
+            graph.node(0, 0)  # freq 50
+        store1 = graph.node(1, 0, F_HEAP_WRITE)
+        load1 = graph.node(2, 0, F_HEAP_READ)
+        compute = graph.node(3, 0)
+        store2 = graph.node(4, 0, F_HEAP_WRITE)
+        graph.add_edge(producer, store1)
+        graph.add_edge(store1, load1)
+        graph.add_edge(load1, compute)
+        graph.add_edge(compute, store2)
+        return graph, producer, load1, store2
+
+    def test_one_hop_equals_hrac(self):
+        graph, _, _, store2 = self._hop_chain()
+        assert multi_hop_hrac(graph, store2, hops=1) == \
+            hrac(graph, store2)
+
+    def test_two_hops_cross_one_heap_read(self):
+        graph, producer, load1, store2 = self._hop_chain()
+        one = multi_hop_hrac(graph, store2, hops=1)
+        two = multi_hop_hrac(graph, store2, hops=2)
+        # Hop 2 reaches through load1 back to the expensive producer.
+        assert one == 2          # compute + store2
+        assert two >= one + 50   # + producer(50) + store1 + load1
+
+    def test_monotone_in_hops(self):
+        graph, _, _, store2 = self._hop_chain()
+        costs = [multi_hop_hrac(graph, store2, hops=k)
+                 for k in (1, 2, 3, 4)]
+        assert costs == sorted(costs)
+
+    def test_forward_dual(self):
+        graph, producer, load1, store2 = self._hop_chain()
+        one = multi_hop_hrab(graph, producer, hops=1,
+                             native_benefit="count")
+        two = multi_hop_hrab(graph, producer, hops=2,
+                             native_benefit="count")
+        assert two > one
+
+    def test_hop_validation(self):
+        graph = DependenceGraph()
+        node = graph.node(0, 0)
+        with pytest.raises(ValueError):
+            multi_hop_hrac(graph, node, hops=0)
+        with pytest.raises(ValueError):
+            multi_hop_hrab(graph, node, hops=0)
+
+    def test_infinite_benefit_across_hops(self):
+        graph = DependenceGraph()
+        load = graph.node(0, 0, F_HEAP_READ)
+        store = graph.node(1, 0, F_HEAP_WRITE)
+        load2 = graph.node(2, 0, F_HEAP_READ)
+        native = graph.node(3, -1, F_NATIVE)
+        graph.add_edge(load, store)
+        graph.add_edge(store, load2)
+        graph.add_edge(load2, native)
+        # Single hop: stops at the store, no native reach.
+        assert multi_hop_hrab(graph, load, hops=1) != INFINITE
+        # Two hops: crosses into the consuming hop.
+        assert multi_hop_hrab(graph, load, hops=2) == INFINITE
+
+
+class TestControlInclusive:
+    BODY = """
+int guard = 0;
+for (int i = 0; i < 40; i++) { guard = guard + 7; }
+int dep = 0;
+if (guard > 3) { dep = 2 + 3; }
+Sys.printInt(dep);
+"""
+
+    def test_control_cost_at_least_plain(self):
+        vm, tracker = traced(self.BODY, track_control=True)
+        graph = tracker.graph
+        for node in range(graph.num_nodes):
+            if graph.is_consumer(node):
+                continue
+            assert control_inclusive_hrac(graph, node) >= \
+                hrac(graph, node)
+
+    def test_guarded_node_charges_predicate_chain(self):
+        vm, tracker = traced(self.BODY, track_control=True)
+        graph = tracker.graph
+        # The `2 + 3` under the if is cheap alone but expensive once
+        # the guard computation is charged.
+        candidates = [n for n in range(graph.num_nodes)
+                      if graph.control_deps.get(n)
+                      and hrac(graph, n) <= 4]
+        assert candidates
+        assert any(control_inclusive_hrac(graph, n) > 40
+                   for n in candidates)
+
+    def test_no_control_edges_without_option(self):
+        vm, tracker = traced(self.BODY)
+        assert tracker.graph.control_deps == {}
+
+    def test_control_deps_propagate_into_calls(self):
+        extra = """
+class H { static int f() { return 5 + 6; } }
+"""
+        body = """
+int x = 0;
+if (1 < 2) { x = H.f(); }
+Sys.printInt(x);
+"""
+        vm, tracker = traced(body, extra=extra, track_control=True)
+        graph = tracker.graph
+        # Nodes executed inside H.f carry the caller's predicate.
+        assert any(graph.control_deps.get(n)
+                   for n in range(graph.num_nodes))
+
+
+class TestReturnCosts:
+    EXTRA = """
+class Worker {
+    static int heavy() {
+        int acc = 0;
+        for (int i = 0; i < 100; i++) { acc = acc + i; }
+        return acc;
+    }
+    static int cheap(int v) { return v + 1; }
+}
+"""
+
+    def test_expensive_return_ranks_first(self):
+        vm, tracker = traced(
+            "int h = Worker.heavy(); int c = Worker.cheap(h); "
+            "Sys.printInt(c);", extra=self.EXTRA)
+        costs = return_costs(tracker.graph, tracker.return_nodes,
+                             vm.program)
+        assert costs[0].method == "Worker.heavy"
+        assert costs[0].relative_cost > 100
+        cheap = next(c for c in costs if c.method == "Worker.cheap")
+        assert cheap.relative_cost < 10
+
+    def test_returns_observed_counted(self):
+        vm, tracker = traced(
+            "int a = 0; for (int i = 0; i < 5; i++) "
+            "{ a = Worker.cheap(a); } Sys.printInt(a);",
+            extra=self.EXTRA)
+        costs = {c.method: c
+                 for c in return_costs(tracker.graph,
+                                       tracker.return_nodes,
+                                       vm.program)}
+        # One merged node per return site under one context.
+        assert costs["Worker.cheap"].returns_observed >= 1
+
+    def test_top_limit(self):
+        vm, tracker = traced("int h = Worker.heavy(); "
+                             "Sys.printInt(h);", extra=self.EXTRA)
+        assert len(return_costs(tracker.graph, tracker.return_nodes,
+                                vm.program, top=1)) == 1
+
+
+class TestCacheAnalysis:
+    CACHE_EXTRA = """
+class HashCache {
+    int[] values;
+    bool[] filled;
+    HashCache(int n) {
+        values = new int[n];
+        filled = new bool[n];
+    }
+    int get(int key) {
+        if (filled[key]) { return values[key]; }
+        int h = key;
+        for (int i = 0; i < 50; i++) { h = (h * 31 + i) % 65521; }
+        values[key] = h;
+        filled[key] = true;
+        return h;
+    }
+}
+"""
+
+    def test_effective_cache_recognized(self):
+        body = """
+HashCache cache = new HashCache(4);
+int acc = 0;
+for (int i = 0; i < 60; i++) {
+    acc = (acc + cache.get(i % 4)) % 1000003;
+}
+Sys.printInt(acc);
+"""
+        vm, tracker = traced(body, extra=self.CACHE_EXTRA)
+        reports = analyze_caches(tracker.graph)
+        assert reports
+        best = reports[0]
+        # 4 misses populate; 56+ hits reuse expensive values.
+        assert best.reads > best.writes
+        assert best.work_cached > 50
+        assert best.is_effective
+
+    def test_rewritten_per_use_cache_ineffective(self):
+        extra = """
+class BadCache {
+    int value;
+    int get(int key) {
+        int h = key;
+        for (int i = 0; i < 50; i++) { h = (h * 31 + i) % 65521; }
+        value = h;            // rewritten on EVERY call
+        return value;
+    }
+}
+"""
+        body = """
+BadCache cache = new BadCache();
+int acc = 0;
+for (int i = 0; i < 40; i++) {
+    acc = (acc + cache.get(i)) % 1000003;
+}
+Sys.printInt(acc);
+"""
+        vm, tracker = traced(body, extra=extra)
+        reports = analyze_caches(tracker.graph)
+        bad = [r for r in reports if r.writes >= 40]
+        assert bad
+        assert not bad[0].is_effective
+        assert bad[0].saved_work == 0  # reads never exceed writes
+
+    def test_min_reads_filter(self):
+        extra = "class S { int dead; }"
+        vm, tracker = traced(
+            "S s = new S(); s.dead = 1; Sys.printInt(0);", extra=extra)
+        assert analyze_caches(tracker.graph, min_reads=1) == []
+
+    def test_format_with_program(self):
+        body = """
+HashCache cache = new HashCache(2);
+int acc = cache.get(0) + cache.get(0);
+Sys.printInt(acc);
+"""
+        vm, tracker = traced(body, extra=self.CACHE_EXTRA)
+        text = format_cache_report(analyze_caches(tracker.graph),
+                                   program=vm.program)
+        assert "effectiveness" in text
+
+
+class TestSerialization:
+    def _sample(self):
+        vm, tracker = traced("""
+int[] a = new int[4];
+a[0] = 1 + 2;
+if (a[0] > 0) { Sys.printInt(a[0]); }
+""", track_control=True)
+        return tracker.graph
+
+    def test_roundtrip_preserves_everything(self):
+        graph = self._sample()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.node_keys == graph.node_keys
+        assert clone.freq == graph.freq
+        assert clone.flags == graph.flags
+        assert clone.preds == graph.preds
+        assert clone.succs == graph.succs
+        assert clone.effects == graph.effects
+        assert clone.ref_edges == graph.ref_edges
+        assert clone.points_to == graph.points_to
+        assert clone.control_deps == graph.control_deps
+        assert clone.slots == graph.slots
+
+    def test_roundtrip_preserves_analysis_results(self):
+        from repro.analyses import measure_bloat
+        graph = self._sample()
+        clone = graph_from_dict(graph_to_dict(graph))
+        original = measure_bloat(graph, 100)
+        restored = measure_bloat(clone, 100)
+        assert original == restored
+        for node in range(graph.num_nodes):
+            assert hrac(graph, node) == hrac(clone, node)
+            assert hrab(graph, node) == hrab(clone, node)
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = self._sample()
+        path = tmp_path / "gcost.json"
+        save_graph(graph, path)
+        clone = load_graph(path)
+        assert clone.node_keys == graph.node_keys
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict({"version": 99})
+
+    def test_json_is_plain(self):
+        import json
+        graph = self._sample()
+        text = json.dumps(graph_to_dict(graph))
+        assert json.loads(text)["version"] == 1
+
+
+class TestSerializationMeta:
+    def test_meta_roundtrip(self, tmp_path):
+        from repro.profiler import (load_graph_with_meta, save_graph)
+        vm, tracker = traced("Sys.printInt(1 + 2);")
+        path = tmp_path / "g.json"
+        save_graph(tracker.graph, path,
+                   meta={"instructions": vm.instr_count,
+                         "output": vm.stdout()})
+        graph, meta = load_graph_with_meta(path)
+        assert meta["instructions"] == vm.instr_count
+        assert meta["output"] == "3"
+        assert graph.num_nodes == tracker.graph.num_nodes
+
+    def test_meta_defaults_empty(self, tmp_path):
+        from repro.profiler import load_graph_with_meta, save_graph
+        vm, tracker = traced("Sys.printInt(1);")
+        path = tmp_path / "g.json"
+        save_graph(tracker.graph, path)
+        _, meta = load_graph_with_meta(path)
+        assert meta == {}
+
+    def test_offline_ipd_matches_online(self, tmp_path):
+        from repro.analyses import measure_bloat
+        from repro.profiler import load_graph_with_meta, save_graph
+        vm, tracker = traced("""
+int dead = 1 * 2;
+Sys.printInt(3);
+""")
+        online = measure_bloat(tracker.graph, vm.instr_count)
+        path = tmp_path / "g.json"
+        save_graph(tracker.graph, path,
+                   meta={"instructions": vm.instr_count})
+        graph, meta = load_graph_with_meta(path)
+        offline = measure_bloat(graph, meta["instructions"])
+        assert offline == online

@@ -1,0 +1,150 @@
+"""Tests for the MiniJ source formatter: fixpoint and behavioural
+round trips."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.formatter import format_expr, format_source
+from repro.stdlib import MODULES, stdlib_source
+from repro.vm import VM
+from repro.workloads import all_workloads
+
+SAMPLE = """
+class Shape {
+    int edges;
+    static int made;
+    Shape(int edges) { this.edges = edges; Shape.made++; }
+    int weight() { return edges * 10; }
+}
+
+class Square extends Shape {
+    Square() { super(4); }
+    int weight() { return 42; }
+}
+
+class Main {
+    static void main() {
+        Shape[] shapes = new Shape[3];
+        shapes[0] = new Shape(3);
+        shapes[1] = new Square();
+        int total = 0;
+        for (int i = 0; i < 2; i++) {
+            total += shapes[i].weight();
+            if (total > 1000 || shapes[i] == null) { break; }
+        }
+        while (total % 2 == 0 && total > 0) { total /= 2; }
+        string label = "total=" + total + "!";
+        Sys.println(label);
+        Sys.printInt(-total + (3 - 1) * 2);
+    }
+}
+"""
+
+
+def run_source(source):
+    vm = VM(compile_source(source))
+    vm.run()
+    return vm
+
+
+class TestRoundTrips:
+    def test_formatting_is_a_fixpoint(self):
+        once = format_source(SAMPLE)
+        twice = format_source(once)
+        assert once == twice
+
+    def test_formatted_program_behaves_identically(self):
+        original = run_source(SAMPLE)
+        formatted = run_source(format_source(SAMPLE))
+        assert original.stdout() == formatted.stdout()
+        assert original.instr_count == formatted.instr_count
+
+    def test_stdlib_modules_roundtrip(self):
+        entry = ("\nclass Main { static void main() "
+                 "{ Sys.printInt(1); } }\n")
+        for name in MODULES:
+            source = stdlib_source(name) + entry
+            once = format_source(source)
+            assert format_source(once) == once
+            assert run_source(once).stdout() == "1"
+
+    @pytest.mark.parametrize(
+        "spec", all_workloads(), ids=lambda s: s.name)
+    def test_workload_sources_roundtrip(self, spec):
+        source = spec.source("unopt", spec.small_scale)
+        source += "\n" + stdlib_source(*spec.stdlib_modules)
+        original = run_source(source)
+        formatted = run_source(format_source(source))
+        assert original.stdout() == formatted.stdout()
+        assert original.instr_count == formatted.instr_count
+
+
+class TestExpressionPrecedence:
+    def _roundtrip_expr(self, text):
+        source = (f"class Main {{ static void main() "
+                  f"{{ int x = {text}; Sys.printInt(x); }} }}")
+        reparsed = format_source(source)
+        assert run_source(source).stdout() == \
+            run_source(reparsed).stdout()
+
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "10 - 3 - 2",
+        "10 - (3 - 2)",
+        "1 << 2 + 3",
+        "(1 << 2) + 3",
+        "1 | 2 ^ 3 & 4",
+        "(1 | 2) ^ (3 & 4)",
+        "-(1 + 2)",
+        "- -5",
+        "100 / 5 / 2",
+        "100 / (5 / 2)",
+        "1 + 2 % 3",
+    ])
+    def test_precedence_preserved(self, text):
+        self._roundtrip_expr(text)
+
+    def test_negative_literal_spacing(self):
+        from repro.lang import ast
+        expr = ast.Unary("-", ast.Unary("-", ast.IntLit(5)))
+        assert format_expr(expr) == "- -5"
+
+    def test_string_escapes_roundtrip(self):
+        source = ('class Main { static void main() '
+                  '{ Sys.print("a\\nb\\t\\"q\\"\\\\z"); } }')
+        assert run_source(source).stdout() == \
+            run_source(format_source(source)).stdout()
+
+
+class TestStatementShapes:
+    def test_empty_block(self):
+        source = "class Main { static void main() { } }"
+        assert format_source(format_source(source)) == \
+            format_source(source)
+
+    def test_dangling_else_unambiguous(self):
+        source = """
+class Main {
+    static void main() {
+        int x = 0;
+        if (1 < 2) if (3 < 4) x = 1; else x = 2;
+        Sys.printInt(x);
+    }
+}
+"""
+        original = run_source(source)
+        formatted = run_source(format_source(source))
+        assert original.stdout() == formatted.stdout() == "1"
+
+    def test_for_with_empty_clauses(self):
+        source = """
+class Main {
+    static void main() {
+        int i = 0;
+        for (;;) { i++; if (i > 3) { break; } }
+        Sys.printInt(i);
+    }
+}
+"""
+        assert run_source(format_source(source)).stdout() == "4"

@@ -1,0 +1,51 @@
+"""Golden outputs: workload behaviour is pinned so refactors of the
+frontend/VM/stdlib cannot silently change the programs under test.
+
+If a change legitimately alters these values (e.g. retuning a workload
+scale), update the table — the diff then documents the behavioural
+change for review.
+"""
+
+import pytest
+
+from repro.vm import VM
+from repro.workloads import get_workload
+
+#: (workload, variant) -> (stdout, instruction count) at small scale.
+GOLDEN = {
+    ("antlr_like", "opt"): ('714951', 17903),
+    ("antlr_like", "unopt"): ('714951', 22885),
+    ("bloat_like", "opt"): ('6 959022', 38570),
+    ("bloat_like", "unopt"): ('6 959022', 103676),
+    ("chart_like", "opt"): ('39 5', 3779),
+    ("chart_like", "unopt"): ('39 5', 10816),
+    ("derby_like", "opt"): ('7512 210 392194', 33118),
+    ("derby_like", "unopt"): ('7512 210 392194', 45155),
+    ("eclipse_like", "opt"): ('358429 780 8', 29484),
+    ("eclipse_like", "unopt"): ('358429 780 8', 34727),
+    ("luindex_like", "opt"): ('382', 12400),
+    ("luindex_like", "unopt"): ('382', 20140),
+    ("lusearch_like", "opt"): ('253017', 14702),
+    ("lusearch_like", "unopt"): ('253017', 25102),
+    ("pmd_like", "opt"): ('11', 12246),
+    ("pmd_like", "unopt"): ('11', 17502),
+    ("sunflow_like", "opt"): ('248418', 18738),
+    ("sunflow_like", "unopt"): ('248418', 24774),
+    ("tomcat_like", "opt"): ('11 5150 710330', 22620),
+    ("tomcat_like", "unopt"): ('11 5150 710330', 25740),
+    ("trade_like", "opt"): ('146892', 15788),
+    ("trade_like", "unopt"): ('146892', 22572),
+    ("xalan_like", "opt"): ('506659', 14250),
+    ("xalan_like", "unopt"): ('506659', 23173),
+}
+
+
+@pytest.mark.parametrize("name,variant", sorted(GOLDEN),
+                         ids=lambda v: str(v))
+def test_golden(name, variant):
+    spec = get_workload(name)
+    vm = VM(spec.build(variant, spec.small_scale))
+    vm.run()
+    expected_out, expected_count = GOLDEN[(name, variant)]
+    assert vm.stdout() == expected_out
+    assert vm.instr_count == expected_count

@@ -1,0 +1,188 @@
+"""Tests for the abstract thin data dependence graph structure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiler.graph import (CONTEXTLESS, EFFECT_ALLOC, EFFECT_LOAD,
+                                  EFFECT_STORE, F_ALLOC, F_HEAP_READ,
+                                  F_HEAP_WRITE, F_NATIVE, F_PREDICATE,
+                                  DependenceGraph)
+
+
+class TestNodes:
+    def test_node_created_once_and_frequency_bumped(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(1, 0)
+        assert a == b
+        assert graph.num_nodes == 1
+        assert graph.freq[a] == 2
+
+    def test_distinct_contexts_distinct_nodes(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(1, 1)
+        assert a != b
+        assert graph.num_nodes == 2
+
+    def test_flags_accumulate(self):
+        graph = DependenceGraph()
+        n = graph.node(1, 0, F_ALLOC)
+        graph.node(1, 0, F_HEAP_WRITE)
+        assert graph.flags[n] == F_ALLOC | F_HEAP_WRITE
+
+    def test_find_does_not_create(self):
+        graph = DependenceGraph()
+        assert graph.find(5, 0) is None
+        n = graph.node(5, 0)
+        assert graph.find(5, 0) == n
+        assert graph.freq[n] == 1  # find didn't bump
+
+    def test_consumer_flags(self):
+        graph = DependenceGraph()
+        p = graph.node(1, CONTEXTLESS, F_PREDICATE)
+        n = graph.node(2, CONTEXTLESS, F_NATIVE)
+        v = graph.node(3, 0)
+        assert graph.is_consumer(p)
+        assert graph.is_consumer(n)
+        assert not graph.is_consumer(v)
+
+    def test_nodes_with_flag(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0, F_ALLOC)
+        graph.node(2, 0)
+        assert graph.nodes_with_flag(F_ALLOC) == [a]
+
+
+class TestEdges:
+    def test_edge_deduplicated(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(2, 0)
+        graph.add_edge(a, b)
+        graph.add_edge(a, b)
+        assert graph.num_edges == 1
+        assert graph.succs[a] == {b}
+        assert graph.preds[b] == {a}
+
+    def test_ref_edges_and_points_to(self):
+        graph = DependenceGraph()
+        store = graph.node(1, 0, F_HEAP_WRITE)
+        alloc = graph.node(2, 0, F_ALLOC)
+        graph.add_ref_edge(store, alloc)
+        assert (store, alloc) in graph.ref_edges
+        graph.add_points_to((2, 0), "f", (9, 1))
+        assert graph.points_to[(2, 0)]["f"] == {(9, 1)}
+
+
+class TestTraversals:
+    def _chain(self, flags_by_index):
+        """Build a linear chain n0 -> n1 -> ... with given flags."""
+        graph = DependenceGraph()
+        nodes = [graph.node(i, 0, f) for i, f in
+                 enumerate(flags_by_index)]
+        for a, b in zip(nodes, nodes[1:]):
+            graph.add_edge(a, b)
+        return graph, nodes
+
+    def test_backward_reachable_full_chain(self):
+        graph, nodes = self._chain([0, 0, 0, 0])
+        assert graph.backward_reachable(nodes[3]) == set(nodes)
+
+    def test_backward_stops_at_heap_read(self):
+        graph, nodes = self._chain([0, F_HEAP_READ, 0, 0])
+        reachable = graph.backward_reachable(nodes[3],
+                                             stop_flags=F_HEAP_READ)
+        # The heap-read node and everything before it are excluded.
+        assert reachable == {nodes[2], nodes[3]}
+
+    def test_backward_start_included_even_if_flagged(self):
+        graph, nodes = self._chain([0, 0, F_HEAP_READ])
+        reachable = graph.backward_reachable(nodes[2],
+                                             stop_flags=F_HEAP_READ)
+        assert nodes[2] in reachable
+        assert reachable == set(nodes)
+
+    def test_forward_stops_at_heap_write(self):
+        graph, nodes = self._chain([0, 0, F_HEAP_WRITE, 0])
+        reachable = graph.forward_reachable(nodes[0],
+                                            stop_flags=F_HEAP_WRITE)
+        assert reachable == {nodes[0], nodes[1]}
+
+    def test_traversals_handle_cycles(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(2, 0)
+        graph.add_edge(a, b)
+        graph.add_edge(b, a)
+        assert graph.backward_reachable(a) == {a, b}
+        assert graph.forward_reachable(a) == {a, b}
+
+    def test_diamond_counted_once(self):
+        graph = DependenceGraph()
+        top = graph.node(0, 0)
+        left = graph.node(1, 0)
+        right = graph.node(2, 0)
+        bottom = graph.node(3, 0)
+        graph.add_edge(top, left)
+        graph.add_edge(top, right)
+        graph.add_edge(left, bottom)
+        graph.add_edge(right, bottom)
+        assert graph.backward_reachable(bottom) == {top, left, right,
+                                                    bottom}
+
+
+class TestEffectsAndGroups:
+    def test_field_store_and_load_groups(self):
+        graph = DependenceGraph()
+        store = graph.node(1, 0, F_HEAP_WRITE)
+        load = graph.node(2, 0, F_HEAP_READ)
+        alloc = graph.node(3, 0, F_ALLOC)
+        key = (3, 0)
+        graph.effects[store] = (EFFECT_STORE, key, "f")
+        graph.effects[load] = (EFFECT_LOAD, key, "f")
+        graph.effects[alloc] = (EFFECT_ALLOC, key, None)
+        assert graph.field_stores() == {(key, "f"): [store]}
+        assert graph.field_loads() == {(key, "f"): [load]}
+        assert graph.alloc_nodes() == {key: alloc}
+
+    def test_stats_and_memory(self):
+        graph = DependenceGraph()
+        a = graph.node(1, 0)
+        b = graph.node(2, CONTEXTLESS, F_NATIVE)
+        graph.add_edge(a, b)
+        stats = graph.stats()
+        assert stats["nodes"] == 2
+        assert stats["edges"] == 1
+        assert stats["consumers"] == 1
+        assert stats["memory_bytes"] > 0
+        assert stats["total_frequency"] == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 3)),
+                max_size=120))
+def test_node_table_invariants(events):
+    """Whatever the event stream, structural invariants hold."""
+    graph = DependenceGraph()
+    for iid, d in events:
+        graph.node(iid, d)
+    assert graph.num_nodes == len({(iid, d) for iid, d in events})
+    assert sum(graph.freq) == len(events)
+    assert len(graph.node_keys) == len(graph.flags) == \
+        len(graph.preds) == len(graph.succs)
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                max_size=80))
+def test_edge_symmetry_invariant(pairs):
+    graph = DependenceGraph()
+    for i in range(13):
+        graph.node(i, 0)
+    for a, b in pairs:
+        graph.add_edge(a, b)
+    for node in range(graph.num_nodes):
+        for succ in graph.succs[node]:
+            assert node in graph.preds[succ]
+        for pred in graph.preds[node]:
+            assert node in graph.succs[pred]
+    assert graph.num_edges == sum(len(s) for s in graph.succs)

@@ -1,0 +1,179 @@
+"""Cross-module integration properties and hypothesis-driven checks
+over the whole pipeline (compile -> run -> track -> analyze)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import run_main
+from repro.analyses import (abstract_cost, hrab, hrac, measure_bloat)
+from repro.profiler import (CONTEXTLESS, CostTracker, F_CONSUMER,
+                            F_HEAP_READ, F_HEAP_WRITE)
+
+
+def traced(body, extra="", slots=16):
+    tracker = CostTracker(slots=slots)
+    vm = run_main(body, extra=extra, tracer=tracker)
+    return vm, tracker
+
+
+BODIES = [
+    "int a = 1 + 2; Sys.printInt(a);",
+    """
+int acc = 0;
+for (int i = 0; i < 25; i++) { acc = acc + i * i; }
+Sys.printInt(acc);
+""",
+    """
+int[] xs = new int[10];
+for (int i = 0; i < 10; i++) { xs[i] = i * 3; }
+int s = 0;
+for (int i = 0; i < 10; i++) { s = s + xs[i]; }
+Sys.printInt(s);
+""",
+    """
+string t = "";
+for (int i = 0; i < 6; i++) { t = t + i; }
+Sys.println(t);
+""",
+]
+
+
+class TestGraphInvariants:
+    def check_invariants(self, vm, tracker):
+        graph = tracker.graph
+        total = graph.total_frequency()
+        assert total <= vm.instr_count
+        for node in range(graph.num_nodes):
+            # Abstract cost is bounded by the total tracked work and at
+            # least the node's own frequency.
+            cost = abstract_cost(graph, node)
+            assert graph.freq[node] <= cost <= total
+            # HRAC never exceeds the ab-initio abstract cost.
+            assert hrac(graph, node) <= cost
+            # Benefits are non-negative.
+            benefit = hrab(graph, node, native_benefit="count")
+            assert benefit >= graph.freq[node]
+        # Node keys are unique.
+        assert len(set(graph.node_keys)) == graph.num_nodes
+        # Consumers are contextless.
+        for node in range(graph.num_nodes):
+            if graph.flags[node] & F_CONSUMER:
+                assert graph.node_keys[node][1] == CONTEXTLESS
+
+    def test_invariants_on_fixed_bodies(self):
+        for body in BODIES:
+            vm, tracker = traced(body)
+            self.check_invariants(vm, tracker)
+
+    def test_invariants_on_workload(self):
+        from repro.workloads import get_workload
+        from repro.vm import VM
+        spec = get_workload("derby_like")
+        tracker = CostTracker(slots=8)
+        vm = VM(spec.build("unopt", spec.small_scale), tracer=tracker)
+        vm.run()
+        self.check_invariants(vm, tracker)
+
+    def test_effects_only_on_flagged_nodes(self):
+        vm, tracker = traced(BODIES[2])
+        graph = tracker.graph
+        from repro.profiler import (EFFECT_ALLOC, EFFECT_LOAD,
+                                    EFFECT_STORE, F_ALLOC)
+        for node, (kind, _, _) in graph.effects.items():
+            if kind == EFFECT_ALLOC:
+                assert graph.flags[node] & F_ALLOC
+            elif kind == EFFECT_LOAD:
+                assert graph.flags[node] & F_HEAP_READ
+            elif kind == EFFECT_STORE:
+                assert graph.flags[node] & F_HEAP_WRITE
+
+
+class TestSlotsTradeoff:
+    def test_more_slots_never_fewer_nodes(self):
+        """Growing the bounded domain can only split nodes."""
+        extra = """
+class W { int go() { return 2 + 3; } }
+class H {
+    W w;
+    H() { w = new W(); }
+    int run() { return w.go(); }
+}
+"""
+        body = """
+int acc = 0;
+H a = new H();
+H b = new H();
+H c = new H();
+acc = a.run() + b.run() + c.run();
+Sys.printInt(acc);
+"""
+        _, tracker8 = traced(body, extra=extra, slots=8)
+        _, tracker16 = traced(body, extra=extra, slots=16)
+        assert tracker16.graph.num_nodes >= tracker8.graph.num_nodes
+        # Same total work either way.
+        assert tracker16.graph.total_frequency() == \
+            tracker8.graph.total_frequency()
+
+
+class TestBloatMetricsInvariants:
+    @given(st.sampled_from(BODIES))
+    @settings(max_examples=4, deadline=None)
+    def test_partitions(self, body):
+        vm, tracker = traced(body)
+        metrics = measure_bloat(tracker.graph, vm.instr_count)
+        assert 0 <= metrics.ipd <= 1
+        assert 0 <= metrics.ipp <= 1
+        assert metrics.ipd + metrics.ipp <= 1
+        assert metrics.dead_nodes <= metrics.graph_nodes
+
+
+@st.composite
+def mini_program(draw):
+    """A random straight-line MiniJ body over int locals."""
+    n_vars = draw(st.integers(1, 4))
+    lines = [f"int v{i} = {draw(st.integers(-20, 20))};"
+             for i in range(n_vars)]
+    for _ in range(draw(st.integers(0, 6))):
+        target = draw(st.integers(0, n_vars - 1))
+        a = draw(st.integers(0, n_vars - 1))
+        b = draw(st.integers(0, n_vars - 1))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        lines.append(f"v{target} = v{a} {op} v{b};")
+    lines.append(f"Sys.printInt(v{draw(st.integers(0, n_vars - 1))});")
+    return "\n".join(lines)
+
+
+@given(mini_program())
+@settings(max_examples=20, deadline=None)
+def test_random_programs_track_cleanly(body):
+    """Tracking any straight-line program preserves output, keeps the
+    graph acyclic-by-construction invariants, and computes a cost for
+    the printed value covering every contributing instruction."""
+    plain = run_main(body)
+    vm, tracker = traced(body)
+    assert plain.stdout() == vm.stdout()
+    graph = tracker.graph
+    from repro.profiler import F_NATIVE
+    natives = [n for n in range(graph.num_nodes)
+               if graph.flags[n] & F_NATIVE]
+    assert len(natives) == 1
+    for pred in graph.preds[natives[0]]:
+        cost = abstract_cost(graph, pred)
+        assert cost >= 1
+        # Straight-line code: the slice can't exceed the body size.
+        assert cost <= vm.instr_count
+
+
+@given(st.integers(2, 30))
+@settings(max_examples=10, deadline=None)
+def test_loop_frequency_scales_linearly(n):
+    body = f"""
+int acc = 0;
+for (int i = 0; i < {n}; i++) {{ acc = acc + 1; }}
+Sys.printInt(acc);
+"""
+    vm, tracker = traced(body)
+    graph = tracker.graph
+    # The accumulator node runs exactly n times.
+    assert any(f == n for f in graph.freq)
+    assert vm.stdout() == str(n)

@@ -1,0 +1,263 @@
+"""Tests for Program / ClassDef / MethodDef and finalize()."""
+
+import pytest
+
+from repro.ir import (INT, VOID, ClassDef, FieldDef, IRError, MethodDef,
+                      Program, ProgramBuilder)
+from repro.ir import instructions as ins
+
+
+def build_minimal(entry_ret=True):
+    pb = ProgramBuilder()
+    cb = pb.class_("Main")
+    mb = cb.method("main", [], VOID, static=True)
+    mb.ret()
+    return pb
+
+
+class TestConstruction:
+    def test_duplicate_class_rejected(self):
+        program = Program()
+        program.add_class(ClassDef("A"))
+        with pytest.raises(IRError, match="duplicate class"):
+            program.add_class(ClassDef("A"))
+
+    def test_duplicate_field_rejected(self):
+        cls = ClassDef("A")
+        cls.add_field(FieldDef("x", INT))
+        with pytest.raises(IRError, match="duplicate field"):
+            cls.add_field(FieldDef("x", INT))
+
+    def test_duplicate_method_rejected(self):
+        cls = ClassDef("A")
+        cls.add_method(MethodDef("m", [], VOID))
+        with pytest.raises(IRError, match="duplicate method"):
+            cls.add_method(MethodDef("m", [], VOID))
+
+    def test_static_and_instance_fields_separate_tables(self):
+        cls = ClassDef("A")
+        cls.add_field(FieldDef("x", INT))
+        cls.add_field(FieldDef("y", INT, is_static=True))
+        assert "x" in cls.fields and "y" in cls.static_fields
+
+    def test_unknown_class_lookup(self):
+        program = Program()
+        with pytest.raises(IRError, match="unknown class"):
+            program.get_class("Nope")
+
+
+class TestFinalize:
+    def test_assigns_unique_iids(self):
+        pb = build_minimal()
+        program = pb.finalize()
+        iids = [instr.iid for instr in program.instructions]
+        assert iids == sorted(set(iids))
+        assert all(iid >= 0 for iid in iids)
+
+    def test_finalize_is_idempotent(self):
+        pb = build_minimal()
+        program = pb.finalize()
+        assert program.finalize() is program
+
+    def test_alloc_sites_registered(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        mb = cb.method("main", [], VOID, static=True)
+        mb.new_object("Main")
+        size = mb.const_int(3)
+        mb.new_array(INT, size)
+        mb.ret()
+        program = pb.finalize()
+        kinds = sorted(type(i).__name__
+                       for i in program.alloc_sites.values())
+        assert kinds == ["NewArray", "NewObject"]
+
+    def test_labels_resolved_to_indices(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        mb = cb.method("main", [], VOID, static=True)
+        mb.jump("end")
+        mb.label("end")
+        mb.ret()
+        program = pb.finalize()
+        jump = program.entry.body[0]
+        assert jump.target_index == 1
+
+    def test_undefined_label_rejected(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        mb = cb.method("main", [], VOID, static=True)
+        mb.jump("nowhere")
+        mb.ret()
+        with pytest.raises(IRError, match="undefined label"):
+            pb.finalize()
+
+    def test_duplicate_label_rejected(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        mb = cb.method("main", [], VOID, static=True)
+        mb.label("L")
+        with pytest.raises(IRError, match="bound twice"):
+            mb.label("L")
+
+    def test_missing_entry_class(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("NotMain")
+        cb.method("main", [], VOID, static=True).ret()
+        with pytest.raises(IRError, match="no entry class"):
+            pb.finalize()
+
+    def test_entry_must_be_static(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        cb.method("main", [], VOID, static=False).ret()
+        with pytest.raises(IRError, match="static"):
+            pb.finalize()
+
+    def test_unknown_superclass_rejected(self):
+        pb = ProgramBuilder()
+        pb.class_("Main", super_name="Ghost") \
+          .method("main", [], VOID, static=True).ret()
+        with pytest.raises(IRError, match="unknown class"):
+            pb.finalize()
+
+    def test_inheritance_cycle_rejected(self):
+        program = Program()
+        a = ClassDef("A", "B")
+        b = ClassDef("B", "A")
+        for cls in (a, b):
+            md = MethodDef("m", [], VOID, is_static=True)
+            cls.add_method(md)
+        program.add_class(a)
+        program.add_class(b)
+        md = MethodDef("main", [], VOID, is_static=True)
+        main = ClassDef("Main")
+        main.add_method(md)
+        program.add_class(main)
+        # Give bodies so verification isn't the first failure.
+        for cls in (a, b, main):
+            for method in cls.methods.values():
+                method.body.append(ins.Return())
+        with pytest.raises(IRError, match="cycle"):
+            program.finalize()
+
+
+class TestHierarchy:
+    def _program_with_hierarchy(self):
+        pb = ProgramBuilder()
+        base = pb.class_("Base")
+        base.field("x", INT)
+        m = base.method("speak", [], INT)
+        t = m.const_int(1)
+        m.ret(t)
+        sub = pb.class_("Sub", super_name="Base")
+        m = sub.method("speak", [], INT)
+        t = m.const_int(2)
+        m.ret(t)
+        main = pb.class_("Main")
+        main.method("main", [], VOID, static=True).ret()
+        return pb.finalize()
+
+    def test_is_subclass(self):
+        program = self._program_with_hierarchy()
+        assert program.is_subclass("Sub", "Base")
+        assert program.is_subclass("Sub", "Sub")
+        assert not program.is_subclass("Base", "Sub")
+        assert not program.is_subclass("Main", "Base")
+
+    def test_vtable_override(self):
+        program = self._program_with_hierarchy()
+        base = program.get_class("Base")
+        sub = program.get_class("Sub")
+        assert base.vtable["speak"].owner is base
+        assert sub.vtable["speak"].owner is sub
+
+    def test_fields_inherited(self):
+        program = self._program_with_hierarchy()
+        sub = program.get_class("Sub")
+        assert "x" in sub.all_fields
+
+    def test_field_shadowing_rejected(self):
+        pb = ProgramBuilder()
+        base = pb.class_("Base")
+        base.field("x", INT)
+        sub = pb.class_("Sub", super_name="Base")
+        sub.field("x", INT)
+        pb.class_("Main").method("main", [], VOID, static=True).ret()
+        with pytest.raises(IRError, match="shadows"):
+            pb.finalize()
+
+    def test_lookup_method_walks_hierarchy(self):
+        program = self._program_with_hierarchy()
+        assert program.lookup_method("Sub", "speak") is not None
+        assert program.lookup_method("Base", "speak") is not None
+
+    def test_lookup_field(self):
+        program = self._program_with_hierarchy()
+        assert program.lookup_field("Sub", "x") is not None
+        assert program.lookup_field("Base", "nope") is None
+
+    def test_override_arity_change_rejected(self):
+        pb = ProgramBuilder()
+        base = pb.class_("Base")
+        m = base.method("f", [("a", INT)], INT)
+        m.ret("a")
+        sub = pb.class_("Sub", super_name="Base")
+        m = sub.method("f", [], INT)
+        t = m.const_int(0)
+        m.ret(t)
+        pb.class_("Main").method("main", [], VOID, static=True).ret()
+        with pytest.raises(IRError, match="arity"):
+            pb.finalize()
+
+
+class TestCallResolution:
+    def test_static_call_resolved(self):
+        pb = ProgramBuilder()
+        helper = pb.class_("Helper")
+        m = helper.method("f", [], INT, static=True)
+        t = m.const_int(9)
+        m.ret(t)
+        main = pb.class_("Main")
+        mb = main.method("main", [], VOID, static=True)
+        mb.call_static("Helper", "f", dest=mb.temp())
+        mb.ret()
+        program = pb.finalize()
+        call = next(i for i in program.entry.body
+                    if i.op == ins.OP_CALL)
+        assert call.resolved.qualified_name == "Helper.f"
+
+    def test_static_call_inherits_from_super(self):
+        pb = ProgramBuilder()
+        base = pb.class_("Base")
+        m = base.method("f", [], INT, static=True)
+        t = m.const_int(9)
+        m.ret(t)
+        pb.class_("Sub", super_name="Base")
+        main = pb.class_("Main")
+        mb = main.method("main", [], VOID, static=True)
+        mb.call_static("Sub", "f", dest=mb.temp())
+        mb.ret()
+        program = pb.finalize()
+        call = next(i for i in program.entry.body
+                    if i.op == ins.OP_CALL)
+        assert call.resolved.owner.name == "Base"
+
+    def test_unknown_static_target_rejected(self):
+        pb = ProgramBuilder()
+        main = pb.class_("Main")
+        mb = main.method("main", [], VOID, static=True)
+        mb.call_static("Main", "ghost")
+        mb.ret()
+        with pytest.raises(IRError, match="no method"):
+            pb.finalize()
+
+    def test_instruction_accessor(self):
+        pb = build_minimal()
+        program = pb.finalize()
+        assert program.instruction(0) is program.instructions[0]
+
+    def test_method_of(self):
+        pb = build_minimal()
+        program = pb.finalize()
+        assert program.method_of(0).name == "main"

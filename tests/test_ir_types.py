@@ -1,0 +1,132 @@
+"""Tests for the IR type system."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import (BOOL, INT, NULL, STRING, VOID, ArrayType,
+                            ClassType, array_of, class_of, is_assignable)
+
+
+class TestEqualityAndHashing:
+    def test_primitive_singletons_equal_fresh_instances(self):
+        from repro.ir.types import BoolType, IntType, StringType
+        assert INT == IntType()
+        assert BOOL == BoolType()
+        assert STRING == StringType()
+
+    def test_primitives_are_distinct(self):
+        distinct = [INT, BOOL, STRING, VOID, NULL]
+        for i, a in enumerate(distinct):
+            for b in distinct[i + 1:]:
+                assert a != b
+
+    def test_class_types_equal_by_name(self):
+        assert class_of("Foo") == class_of("Foo")
+        assert class_of("Foo") != class_of("Bar")
+
+    def test_array_types_equal_by_element(self):
+        assert array_of(INT) == array_of(INT)
+        assert array_of(INT) != array_of(BOOL)
+
+    def test_nested_array_equality(self):
+        assert array_of(array_of(INT)) == array_of(array_of(INT))
+        assert array_of(array_of(INT)) != array_of(INT)
+
+    def test_hashable_as_dict_keys(self):
+        table = {INT: 1, array_of(INT): 2, class_of("A"): 3}
+        assert table[INT] == 1
+        assert table[array_of(INT)] == 2
+        assert table[class_of("A")] == 3
+
+    def test_int_not_equal_to_class(self):
+        assert INT != class_of("int")
+
+
+class TestNames:
+    def test_primitive_names(self):
+        assert str(INT) == "int"
+        assert str(BOOL) == "bool"
+        assert str(STRING) == "string"
+        assert str(VOID) == "void"
+        assert str(NULL) == "null"
+
+    def test_array_name(self):
+        assert str(array_of(INT)) == "int[]"
+        assert str(array_of(array_of(INT))) == "int[][]"
+
+    def test_class_name(self):
+        assert str(class_of("Widget")) == "Widget"
+
+
+class TestReferenceness:
+    def test_primitives_are_not_references(self):
+        assert not INT.is_reference()
+        assert not BOOL.is_reference()
+        assert not VOID.is_reference()
+        # Strings flow as values in MiniJ.
+        assert not STRING.is_reference()
+
+    def test_reference_types(self):
+        assert NULL.is_reference()
+        assert class_of("A").is_reference()
+        assert array_of(INT).is_reference()
+
+
+class TestAssignability:
+    def test_identity(self):
+        for type_ in (INT, BOOL, STRING, class_of("A"), array_of(INT)):
+            assert is_assignable(type_, type_)
+
+    def test_null_to_references(self):
+        assert is_assignable(class_of("A"), NULL)
+        assert is_assignable(array_of(INT), NULL)
+
+    def test_null_not_to_primitives(self):
+        assert not is_assignable(INT, NULL)
+        assert not is_assignable(BOOL, NULL)
+
+    def test_class_mismatch_without_subtype_oracle(self):
+        assert not is_assignable(class_of("A"), class_of("B"))
+
+    def test_class_subtyping_with_oracle(self):
+        def subclass(sub, sup):
+            return (sub, sup) == ("B", "A")
+
+        assert is_assignable(class_of("A"), class_of("B"), subclass)
+        assert not is_assignable(class_of("B"), class_of("A"), subclass)
+
+    def test_arrays_are_invariant(self):
+        def subclass(sub, sup):
+            return True
+
+        assert not is_assignable(array_of(class_of("A")),
+                                 array_of(class_of("B")), subclass)
+
+    def test_int_not_assignable_to_bool(self):
+        assert not is_assignable(BOOL, INT)
+        assert not is_assignable(INT, BOOL)
+
+
+@given(st.integers(min_value=0, max_value=5))
+def test_array_nesting_roundtrip(depth):
+    type_ = INT
+    for _ in range(depth):
+        type_ = array_of(type_)
+    assert str(type_) == "int" + "[]" * depth
+    # Equal to an independently constructed copy.
+    other = INT
+    for _ in range(depth):
+        other = array_of(other)
+    assert type_ == other
+    assert hash(type_) == hash(other)
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll")),
+               min_size=1, max_size=12))
+def test_class_type_name_roundtrip(name):
+    assert ClassType(name).name == name
+    assert ClassType(name) == ClassType(name)
+
+
+def test_array_elem_accessor():
+    assert ArrayType(INT).elem == INT

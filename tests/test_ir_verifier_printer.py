@@ -1,0 +1,177 @@
+"""Tests for the IR verifier and the disassembler."""
+
+import pytest
+
+from repro.ir import (BOOL, INT, VOID, ProgramBuilder, VerifyError,
+                      format_instruction, format_method, format_program)
+from repro.ir import instructions as ins
+
+
+def minimal_builder():
+    pb = ProgramBuilder()
+    cb = pb.class_("Main")
+    mb = cb.method("main", [], VOID, static=True)
+    return pb, cb, mb
+
+
+class TestVerifier:
+    def test_empty_body_rejected(self):
+        pb, cb, mb = minimal_builder()
+        with pytest.raises(VerifyError, match="empty body"):
+            pb.finalize()
+
+    def test_missing_terminator_rejected(self):
+        pb, cb, mb = minimal_builder()
+        mb.const_int(1)
+        with pytest.raises(VerifyError, match="does not end"):
+            pb.finalize()
+
+    def test_value_return_from_void_rejected(self):
+        pb, cb, mb = minimal_builder()
+        t = mb.const_int(1)
+        mb.ret(t)
+        with pytest.raises(VerifyError, match="value return"):
+            pb.finalize()
+
+    def test_bare_return_from_nonvoid_rejected(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        cb.method("main", [], VOID, static=True).ret()
+        m = cb.method("f", [], INT)
+        m.ret()
+        with pytest.raises(VerifyError, match="bare return"):
+            pb.finalize()
+
+    def test_new_of_unknown_class_rejected(self):
+        pb, cb, mb = minimal_builder()
+        mb.new_object("Ghost")
+        mb.ret()
+        with pytest.raises(VerifyError, match="unknown class"):
+            pb.finalize()
+
+    def test_unknown_static_field_rejected(self):
+        pb, cb, mb = minimal_builder()
+        mb.load_static("Main", "ghost")
+        mb.ret()
+        with pytest.raises(VerifyError, match="unknown static field"):
+            pb.finalize()
+
+    def test_call_arity_mismatch_rejected(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        m = cb.method("f", [("a", INT)], INT, static=True)
+        m.ret("a")
+        mb = cb.method("main", [], VOID, static=True)
+        mb.call_static("Main", "f", args=[], dest=mb.temp())
+        mb.ret()
+        with pytest.raises(VerifyError, match="arity"):
+            pb.finalize()
+
+    def test_virtual_call_to_static_rejected(self):
+        pb = ProgramBuilder()
+        cb = pb.class_("Main")
+        m = cb.method("f", [], INT, static=True)
+        t = m.const_int(0)
+        m.ret(t)
+        mb = cb.method("main", [], VOID, static=True)
+        obj = mb.new_object("Main")
+        mb.call_virtual("Main", "f", obj, dest=mb.temp())
+        mb.ret()
+        from repro.ir.module import IRError
+        # Rejected at call resolution (statics are not in the vtable).
+        with pytest.raises(IRError, match="no virtual method"):
+            pb.finalize()
+
+    def test_unknown_intrinsic_rejected(self):
+        pb, cb, mb = minimal_builder()
+        from repro.ir.module import IRError
+        with pytest.raises(IRError, match="unknown intrinsic"):
+            mb.intrinsic("frobnicate", ["x"])
+
+    def test_intrinsic_arity_checked(self):
+        pb, cb, mb = minimal_builder()
+        t = mb.const_str("x")
+        mb.method.body.append(ins.Intrinsic(mb.temp(), ins.INTR_SLEN,
+                                            [t, t]))
+        mb.ret()
+        with pytest.raises(VerifyError, match="expects 1"):
+            pb.finalize()
+
+    def test_good_program_verifies(self):
+        pb, cb, mb = minimal_builder()
+        t = mb.const_int(1)
+        c = mb.binop("<", t, t)
+        mb.branch(c, "a", "b")
+        mb.label("a")
+        mb.jump("b")
+        mb.label("b")
+        mb.ret()
+        assert pb.finalize().finalized
+
+
+class TestPrinter:
+    def test_format_each_instruction_kind(self):
+        from repro.ir.types import INT as IntT
+        samples = [
+            (ins.Const("d", 5, IntT), "d = const 5"),
+            (ins.Const("d", "hi", IntT), "d = const 'hi'"),
+            (ins.Const("d", None, IntT), "d = const null"),
+            (ins.Move("d", "s"), "d = s"),
+            (ins.BinOp("d", "+", "a", "b"), "d = a + b"),
+            (ins.UnOp("d", "neg", "s"), "d = neg s"),
+            (ins.NewObject("d", "C"), "d = new C"),
+            (ins.LoadField("d", "o", "f"), "d = o.f"),
+            (ins.StoreField("o", "f", "v"), "o.f = v"),
+            (ins.LoadStatic("d", "C", "f"), "d = C::f"),
+            (ins.StoreStatic("C", "f", "v"), "C::f = v"),
+            (ins.ArrayLoad("d", "a", "i"), "d = a[i]"),
+            (ins.ArrayStore("a", "i", "v"), "a[i] = v"),
+            (ins.ArrayLen("d", "a"), "d = len(a)"),
+            (ins.Return("v"), "return v"),
+            (ins.Return(), "return"),
+            (ins.Intrinsic("d", "slen", ["s"]), "d = intr slen(s)"),
+        ]
+        for instr, expected in samples:
+            assert format_instruction(instr) == expected
+
+    def test_format_call(self):
+        call = ins.Call("d", ins.CALL_VIRTUAL, "C", "m", "r", ["a"])
+        assert format_instruction(call) == "d = virtual r.C.m(a)"
+
+    def test_format_native(self):
+        native = ins.CallNative(None, "print", ["s"])
+        assert format_instruction(native) == "native print(s)"
+
+    def test_format_method_contains_labels_and_iids(self):
+        pb, cb, mb = minimal_builder()
+        mb.jump("end")
+        mb.label("end")
+        mb.ret()
+        pb.finalize()
+        text = format_method(mb.method)
+        assert "end:" in text
+        assert "Main.main" in text
+        assert "[" in text  # iid column
+
+    def test_format_program_lists_classes(self):
+        pb, cb, mb = minimal_builder()
+        cb.field("x", INT)
+        cb.field("flag", BOOL, static=True)
+        mb.ret()
+        program = pb.finalize()
+        text = format_program(program)
+        assert "class Main" in text
+        assert "int x;" in text
+        assert "static bool flag;" in text
+
+    def test_format_branch_shows_targets(self):
+        pb, cb, mb = minimal_builder()
+        c = mb.const_bool(True)
+        mb.branch(c, "t", "f")
+        mb.label("t")
+        mb.jump("f")
+        mb.label("f")
+        mb.ret()
+        pb.finalize()
+        text = format_method(mb.method)
+        assert "if" in text and "goto t" in text

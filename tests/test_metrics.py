@@ -1,0 +1,75 @@
+"""Tests for the Table-1 and case-study harnesses."""
+
+import pytest
+
+from repro.metrics import (format_case_studies, format_table1,
+                           profile_workload, run_case_study)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def chart_row():
+    spec = get_workload("chart_like")
+    return profile_workload(spec, slots=16, scale=spec.small_scale)
+
+
+@pytest.fixture(scope="module")
+def chart_case():
+    spec = get_workload("chart_like")
+    return run_case_study(spec, scale=spec.small_scale)
+
+
+class TestTable1Harness:
+    def test_row_fields_sane(self, chart_row):
+        assert chart_row.name == "chart_like"
+        assert chart_row.slots == 16
+        assert chart_row.nodes > 0
+        assert chart_row.edges > 0
+        assert chart_row.memory_bytes > 0
+        assert chart_row.instructions > 0
+        assert chart_row.overhead > 0
+        assert 0 <= chart_row.ipd <= 1
+        assert 0 <= chart_row.ipp <= 1
+        assert 0 <= chart_row.nld <= 1
+
+    def test_graph_bounded(self, chart_row):
+        assert chart_row.nodes < chart_row.instructions / 5
+
+    def test_format(self, chart_row):
+        text = format_table1([chart_row])
+        assert "chart_like" in text
+        assert "IPD%" in text
+
+
+class TestCaseStudyHarness:
+    def test_outputs_match(self, chart_case):
+        assert chart_case.outputs_match
+
+    def test_reductions_positive(self, chart_case):
+        assert chart_case.instruction_reduction > 0
+        assert chart_case.allocation_reduction > 0
+
+    def test_top_sites_collected(self, chart_case):
+        assert chart_case.top_sites
+        assert chart_case.top_sites[0].n_rac >= 0
+
+    def test_band_check(self, chart_case):
+        lo, hi = chart_case.expected_band
+        assert (lo <= chart_case.instruction_reduction <= hi) == \
+            chart_case.in_expected_band
+
+    def test_format(self, chart_case):
+        text = format_case_studies([chart_case])
+        assert "chart_like" in text
+        assert "yes" in text
+
+    def test_properties_handle_zero_denominators(self):
+        from repro.metrics import CaseStudyResult
+        empty = CaseStudyResult(
+            name="x", paper_analogue="", unopt_instructions=0,
+            opt_instructions=0, unopt_seconds=0.0, opt_seconds=0.0,
+            unopt_allocations=0, opt_allocations=0, outputs_match=True,
+            expected_band=(0, 1))
+        assert empty.instruction_reduction == 0.0
+        assert empty.time_reduction == 0.0
+        assert empty.allocation_reduction == 0.0

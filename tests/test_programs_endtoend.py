@@ -1,0 +1,420 @@
+"""Non-trivial MiniJ programs run end to end against Python reference
+implementations — the language robustness suite."""
+
+from conftest import run_source
+
+
+def out(source):
+    return run_source(source).stdout()
+
+
+class TestSorting:
+    def test_insertion_sort(self):
+        source = """
+class Sorter {
+    static void sort(int[] a) {
+        for (int i = 1; i < a.length; i++) {
+            int key = a[i];
+            int j = i - 1;
+            while (j >= 0 && a[j] > key) {
+                a[j + 1] = a[j];
+                j--;
+            }
+            a[j + 1] = key;
+        }
+    }
+}
+class Main {
+    static void main() {
+        int[] a = new int[8];
+        a[0] = 5; a[1] = -2; a[2] = 9; a[3] = 0;
+        a[4] = 5; a[5] = 100; a[6] = -50; a[7] = 3;
+        Sorter.sort(a);
+        for (int i = 0; i < a.length; i++) {
+            Sys.printInt(a[i]);
+            Sys.print(" ");
+        }
+    }
+}
+"""
+        values = [5, -2, 9, 0, 5, 100, -50, 3]
+        expected = " ".join(map(str, sorted(values))) + " "
+        assert out(source) == expected
+
+    def test_quicksort_recursive(self):
+        source = """
+class Quick {
+    static void sort(int[] a, int lo, int hi) {
+        if (lo >= hi) { return; }
+        int pivot = a[hi];
+        int i = lo - 1;
+        for (int j = lo; j < hi; j++) {
+            if (a[j] <= pivot) {
+                i++;
+                int t = a[i]; a[i] = a[j]; a[j] = t;
+            }
+        }
+        int t2 = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t2;
+        Quick.sort(a, lo, i);
+        Quick.sort(a, i + 2, hi);
+    }
+}
+class Main {
+    static void main() {
+        int[] a = new int[12];
+        int seed = 17;
+        for (int i = 0; i < a.length; i++) {
+            seed = (seed * 31 + 7) % 1009;
+            a[i] = seed - 500;
+        }
+        Quick.sort(a, 0, a.length - 1);
+        bool sorted = true;
+        for (int i = 1; i < a.length; i++) {
+            if (a[i - 1] > a[i]) { sorted = false; }
+        }
+        Sys.printBool(sorted);
+    }
+}
+"""
+        assert out(source) == "true"
+
+
+class TestGraphAlgorithms:
+    def test_bfs_shortest_paths(self):
+        source = """
+class Graph {
+    int[][] adj;
+    int[] degree;
+    int nodes;
+    Graph(int n, int maxDegree) {
+        adj = new int[n][];
+        degree = new int[n];
+        nodes = n;
+        for (int i = 0; i < n; i++) {
+            adj[i] = new int[maxDegree];
+        }
+    }
+    void edge(int a, int b) {
+        adj[a][degree[a]] = b;
+        degree[a] = degree[a] + 1;
+        adj[b][degree[b]] = a;
+        degree[b] = degree[b] + 1;
+    }
+    int[] distancesFrom(int start) {
+        int[] dist = new int[nodes];
+        for (int i = 0; i < nodes; i++) { dist[i] = -1; }
+        int[] queue = new int[nodes];
+        int head = 0;
+        int tail = 0;
+        dist[start] = 0;
+        queue[tail] = start;
+        tail++;
+        while (head < tail) {
+            int node = queue[head];
+            head++;
+            for (int k = 0; k < degree[node]; k++) {
+                int next = adj[node][k];
+                if (dist[next] == -1) {
+                    dist[next] = dist[node] + 1;
+                    queue[tail] = next;
+                    tail++;
+                }
+            }
+        }
+        return dist;
+    }
+}
+class Main {
+    static void main() {
+        // 0-1-2-3 path plus a 0-4 spur and unreachable 5.
+        Graph g = new Graph(6, 4);
+        g.edge(0, 1);
+        g.edge(1, 2);
+        g.edge(2, 3);
+        g.edge(0, 4);
+        int[] dist = g.distancesFrom(0);
+        for (int i = 0; i < dist.length; i++) {
+            Sys.printInt(dist[i]);
+            Sys.print(" ");
+        }
+    }
+}
+"""
+        assert out(source) == "0 1 2 3 1 -1 "
+
+
+class TestNumeric:
+    def test_sieve_of_eratosthenes(self):
+        source = """
+class Main {
+    static void main() {
+        int n = 50;
+        bool[] composite = new bool[n + 1];
+        int count = 0;
+        for (int p = 2; p <= n; p++) {
+            if (!composite[p]) {
+                count++;
+                for (int q = p * p; q <= n; q = q + p) {
+                    composite[q] = true;
+                }
+            }
+        }
+        Sys.printInt(count);
+    }
+}
+"""
+        assert out(source) == "15"  # primes <= 50
+
+    def test_gcd_and_modular_exponent(self):
+        source = """
+class NumberTheory {
+    static int gcd(int a, int b) {
+        while (b != 0) {
+            int t = a % b;
+            a = b;
+            b = t;
+        }
+        return a;
+    }
+    static int powmod(int base, int exp, int mod) {
+        int result = 1;
+        base = base % mod;
+        while (exp > 0) {
+            if (exp % 2 == 1) { result = (result * base) % mod; }
+            base = (base * base) % mod;
+            exp = exp / 2;
+        }
+        return result;
+    }
+}
+class Main {
+    static void main() {
+        Sys.printInt(NumberTheory.gcd(1071, 462));
+        Sys.print(" ");
+        Sys.printInt(NumberTheory.powmod(7, 123, 1009));
+    }
+}
+"""
+        expected = f"{__import__('math').gcd(1071, 462)} " \
+                   f"{pow(7, 123, 1009)}"
+        assert out(source) == expected
+
+
+class TestStringProcessing:
+    def test_csv_split_and_sum(self):
+        source = """
+class Csv {
+    static int sumLine(string line) {
+        int total = 0;
+        int acc = 0;
+        bool negative = false;
+        for (int i = 0; i < line.length(); i++) {
+            int c = line.charAt(i);
+            if (c == 44) {
+                if (negative) { acc = -acc; }
+                total = total + acc;
+                acc = 0;
+                negative = false;
+            } else if (c == 45) {
+                negative = true;
+            } else {
+                acc = acc * 10 + (c - 48);
+            }
+        }
+        if (negative) { acc = -acc; }
+        return total + acc;
+    }
+}
+class Main {
+    static void main() {
+        Sys.printInt(Csv.sumLine("10,-3,42,0,-7"));
+    }
+}
+"""
+        assert out(source) == str(10 - 3 + 42 + 0 - 7)
+
+    def test_palindrome_check(self):
+        source = """
+class Pal {
+    static bool check(string s) {
+        int i = 0;
+        int j = s.length() - 1;
+        while (i < j) {
+            if (s.charAt(i) != s.charAt(j)) { return false; }
+            i++;
+            j--;
+        }
+        return true;
+    }
+}
+class Main {
+    static void main() {
+        Sys.printBool(Pal.check("racecar"));
+        Sys.printBool(Pal.check("abca"));
+        Sys.printBool(Pal.check(""));
+        Sys.printBool(Pal.check("x"));
+    }
+}
+"""
+        assert out(source) == "truefalsetruetrue"
+
+    def test_run_length_encoding(self):
+        source = """
+class Rle {
+    static string encode(string s) {
+        StrBuilder sb = new StrBuilder();
+        int i = 0;
+        while (i < s.length()) {
+            int c = s.charAt(i);
+            int run = 1;
+            while (i + run < s.length()
+                    && s.charAt(i + run) == c) {
+                run++;
+            }
+            sb.addChar(c);
+            sb.addInt(run);
+            i = i + run;
+        }
+        return sb.toStr();
+    }
+}
+class Main {
+    static void main() {
+        Sys.print(Rle.encode("aaabccccd"));
+    }
+}
+"""
+        source = source.replace("class Rle",
+                                _STDLIB_STRBUILDER + "\nclass Rle")
+        assert out(source) == "a3b1c4d1"
+
+
+from repro.stdlib import stdlib_source  # noqa: E402
+
+_STDLIB_STRBUILDER = stdlib_source("strbuilder")
+
+
+class TestObjectOriented:
+    def test_linked_list_with_polymorphic_visitor(self):
+        source = """
+class Node {
+    int value;
+    Node next;
+    Node(int value) { this.value = value; next = null; }
+}
+class Fold {
+    int apply(int acc, int value) { return acc; }
+}
+class SumFold extends Fold {
+    int apply(int acc, int value) { return acc + value; }
+}
+class MaxFold extends Fold {
+    int apply(int acc, int value) {
+        if (value > acc) { return value; }
+        return acc;
+    }
+}
+class LinkedList {
+    Node head;
+    void push(int value) {
+        Node n = new Node(value);
+        n.next = head;
+        head = n;
+    }
+    int fold(Fold f, int seed) {
+        int acc = seed;
+        Node cur = head;
+        while (cur != null) {
+            acc = f.apply(acc, cur.value);
+            cur = cur.next;
+        }
+        return acc;
+    }
+}
+class Main {
+    static void main() {
+        LinkedList list = new LinkedList();
+        for (int i = 1; i <= 10; i++) { list.push(i * 3); }
+        Sys.printInt(list.fold(new SumFold(), 0));
+        Sys.print(" ");
+        Sys.printInt(list.fold(new MaxFold(), -999));
+    }
+}
+"""
+        assert out(source) == f"{sum(i * 3 for i in range(1, 11))} 30"
+
+    def test_shape_hierarchy_total_area(self):
+        source = """
+class Shape {
+    int area() { return 0; }
+}
+class Rect extends Shape {
+    int w;
+    int h;
+    Rect(int w, int h) { this.w = w; this.h = h; }
+    int area() { return w * h; }
+}
+class SquareShape extends Rect {
+    SquareShape(int s) { super(s, s); }
+}
+class Tri extends Shape {
+    int base;
+    int height;
+    Tri(int b, int h) { base = b; height = h; }
+    int area() { return base * height / 2; }
+}
+class Main {
+    static void main() {
+        Shape[] shapes = new Shape[4];
+        shapes[0] = new Rect(3, 4);
+        shapes[1] = new SquareShape(5);
+        shapes[2] = new Tri(6, 7);
+        shapes[3] = new Shape();
+        int total = 0;
+        for (int i = 0; i < shapes.length; i++) {
+            total = total + shapes[i].area();
+        }
+        Sys.printInt(total);
+    }
+}
+"""
+        assert out(source) == str(12 + 25 + 21 + 0)
+
+    def test_stack_machine_interpreter(self):
+        """An interpreter written in the interpreted language."""
+        source = """
+class Machine {
+    int[] stack;
+    int top;
+    Machine() { stack = new int[64]; top = 0; }
+    void push(int v) { stack[top] = v; top++; }
+    int pop() { top--; return stack[top]; }
+    // ops: 0 push(arg), 1 add, 2 mul, 3 dup
+    int run(int[] code, int[] args, int n) {
+        for (int pc = 0; pc < n; pc++) {
+            int op = code[pc];
+            if (op == 0) { this.push(args[pc]); }
+            if (op == 1) { this.push(this.pop() + this.pop()); }
+            if (op == 2) { this.push(this.pop() * this.pop()); }
+            if (op == 3) { int v = this.pop(); this.push(v);
+                           this.push(v); }
+        }
+        return this.pop();
+    }
+}
+class Main {
+    static void main() {
+        // (2 + 3) * (2 + 3) via dup.
+        int[] code = new int[6];
+        int[] args = new int[6];
+        code[0] = 0; args[0] = 2;
+        code[1] = 0; args[1] = 3;
+        code[2] = 1;
+        code[3] = 3;
+        code[4] = 2;
+        Machine m = new Machine();
+        Sys.printInt(m.run(code, args, 5));
+    }
+}
+"""
+        assert out(source) == "25"

@@ -1,0 +1,438 @@
+"""Tests for the type checker (resolver + checker passes)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.errors import TypeError_
+
+
+def compiles(source: str):
+    return compile_source(source)
+
+
+def check_main(body: str, extra: str = ""):
+    return compiles(f"{extra}\nclass Main {{ static void main() "
+                    f"{{ {body} }} }}")
+
+
+def rejects(body: str, match: str, extra: str = ""):
+    with pytest.raises(TypeError_, match=match):
+        check_main(body, extra)
+
+
+class TestDeclarationsAndScopes:
+    def test_simple_program_accepted(self):
+        check_main("int x = 1; x = x + 1;")
+
+    def test_duplicate_class(self):
+        with pytest.raises(TypeError_, match="duplicate class"):
+            compiles("class A {} class A {} "
+                     "class Main { static void main() {} }")
+
+    def test_reserved_class_name(self):
+        with pytest.raises(TypeError_, match="reserved"):
+            compiles("class Sys {} class Main "
+                     "{ static void main() {} }")
+
+    def test_unknown_type(self):
+        rejects("Ghost g = null;", "unknown type")
+
+    def test_duplicate_variable_in_scope(self):
+        rejects("int x = 1; int x = 2;", "already declared")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check_main("int x = 1; { int y = 2; } { int y = 3; }")
+
+    def test_use_before_declaration_rejected(self):
+        rejects("x = 1;", "undefined name")
+
+    def test_init_cannot_reference_itself(self):
+        rejects("int x = x;", "undefined name")
+
+    def test_block_scope_expires(self):
+        rejects("{ int y = 1; } y = 2;", "undefined name")
+
+    def test_duplicate_method(self):
+        with pytest.raises(TypeError_, match="duplicate method"):
+            compiles("class A { void f() {} int f() { return 1; } } "
+                     "class Main { static void main() {} }")
+
+    def test_duplicate_field(self):
+        with pytest.raises(TypeError_, match="duplicate field"):
+            compiles("class A { int x; bool x; } "
+                     "class Main { static void main() {} }")
+
+    def test_two_constructors_rejected(self):
+        with pytest.raises(TypeError_, match="more than one constructor"):
+            compiles("class A { A() {} A(int x) {} } "
+                     "class Main { static void main() {} }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(TypeError_, match="duplicate parameter"):
+            compiles("class A { void f(int a, int a) {} } "
+                     "class Main { static void main() {} }")
+
+    def test_this_as_parameter_rejected(self):
+        # 'this' is a keyword, so the parser rejects it first; the
+        # resolver has its own guard for builder-level API misuse.
+        from repro.lang.errors import CompileError
+        with pytest.raises(CompileError):
+            compiles("class A { void f(int this) {} } "
+                     "class Main { static void main() {} }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(TypeError_, match="cycle"):
+            compiles("class A extends B {} class B extends A {} "
+                     "class Main { static void main() {} }")
+
+    def test_unknown_super(self):
+        with pytest.raises(TypeError_, match="unknown class"):
+            compiles("class A extends Ghost {} "
+                     "class Main { static void main() {} }")
+
+
+class TestExpressions:
+    def test_arithmetic_types(self):
+        check_main("int x = 1 + 2 * 3 / 4 % 5 - 6;")
+
+    def test_plus_type_mismatch(self):
+        rejects("int x = 1 + true;", r"\+")
+
+    def test_string_concat(self):
+        check_main('string s = "a" + "b"; s = s + 1; s = 2 + s;')
+
+    def test_string_plus_bool_rejected(self):
+        rejects('string s = "a" + true;', "concatenate")
+
+    def test_comparison_yields_bool(self):
+        check_main("bool b = 1 < 2; b = 3 >= 4;")
+
+    def test_comparison_on_strings_rejected(self):
+        rejects('bool b = "a" < "b";', "compare")
+
+    def test_equality_on_mixed_rejected(self):
+        rejects("bool b = 1 == true;", "compare")
+
+    def test_string_equality_allowed(self):
+        check_main('bool b = "a" == "b"; b = "a" != null;')
+
+    def test_reference_equality_requires_relation(self):
+        extra = "class A {} class B {}"
+        rejects("bool b = new A() == new B();", "compare", extra)
+
+    def test_subclass_reference_equality_allowed(self):
+        extra = "class A {} class B extends A {}"
+        check_main("bool b = new A() == new B();", extra)
+
+    def test_logical_ops_need_bool(self):
+        rejects("bool b = 1 && true;", "bool")
+        rejects("bool b = !3;", "bool")
+
+    def test_bitwise_on_ints_or_bools(self):
+        check_main("int x = 5 & 3 | 2 ^ 1; bool b = true & false;")
+        rejects("int x = 1 & true;", "two ints or two bools")
+
+    def test_unary_minus_needs_int(self):
+        rejects("int x = -true;", "int")
+
+    def test_null_assignable_to_refs_only(self):
+        check_main("int[] a = null;", "")
+        rejects("int x = null;", "cannot assign")
+
+    def test_condition_must_be_bool(self):
+        rejects("if (1) { }", "condition must be bool")
+        rejects("while (2) { }", "condition must be bool")
+
+
+class TestFieldsAndArrays:
+    EXTRA = """
+class Point {
+    int x;
+    static int count;
+    Point(int x) { this.x = x; }
+    int getX() { return x; }
+}
+"""
+
+    def test_field_access(self):
+        check_main("Point p = new Point(1); int v = p.x; p.x = 2;",
+                   self.EXTRA)
+
+    def test_unknown_field(self):
+        rejects("Point p = new Point(1); int v = p.ghost;",
+                "no field", self.EXTRA)
+
+    def test_static_field_via_class(self):
+        check_main("Point.count = 3; int v = Point.count;", self.EXTRA)
+
+    def test_unknown_static_field(self):
+        rejects("int v = Point.ghost;", "no static field", self.EXTRA)
+
+    def test_array_length(self):
+        check_main("int[] a = new int[3]; int n = a.length;")
+
+    def test_array_length_not_assignable(self):
+        rejects("int[] a = new int[3]; a.length = 5;", "read-only")
+
+    def test_array_other_member_rejected(self):
+        rejects("int[] a = new int[3]; int n = a.size;", "length")
+
+    def test_index_must_be_int(self):
+        rejects("int[] a = new int[3]; int v = a[true];", "index")
+
+    def test_indexing_non_array(self):
+        rejects("int x = 1; int v = x[0];", "non-array")
+
+    def test_array_size_must_be_int(self):
+        rejects("int[] a = new int[true];", "size")
+
+    def test_string_has_no_fields(self):
+        rejects('string s = "x"; int n = s.size;', "no fields")
+
+    def test_field_assignment_type_checked(self):
+        rejects("Point p = new Point(1); p.x = true;",
+                "cannot assign", self.EXTRA)
+
+
+class TestCalls:
+    EXTRA = """
+class Calc {
+    int base;
+    Calc(int base) { this.base = base; }
+    int add(int v) { return base + v; }
+    static int twice(int v) { return v * 2; }
+}
+"""
+
+    def test_instance_call(self):
+        check_main("Calc c = new Calc(1); int v = c.add(2);",
+                   self.EXTRA)
+
+    def test_static_call(self):
+        check_main("int v = Calc.twice(3);", self.EXTRA)
+
+    def test_arity_mismatch(self):
+        rejects("Calc c = new Calc(1); int v = c.add();",
+                "expects 1", self.EXTRA)
+
+    def test_argument_type_mismatch(self):
+        rejects("Calc c = new Calc(1); int v = c.add(true);",
+                "argument", self.EXTRA)
+
+    def test_static_called_on_instance_rejected(self):
+        rejects("Calc c = new Calc(1); int v = c.twice(3);",
+                "static method", self.EXTRA)
+
+    def test_instance_called_via_class_rejected(self):
+        rejects("int v = Calc.add(3);", "no static method", self.EXTRA)
+
+    def test_unknown_method(self):
+        rejects("Calc c = new Calc(1); c.ghost();", "no method",
+                self.EXTRA)
+
+    def test_unqualified_instance_call_from_static_rejected(self):
+        with pytest.raises(TypeError_, match="static"):
+            compiles("""
+class Main {
+    void helper() { }
+    static void main() { helper(); }
+}
+""")
+
+    def test_unqualified_static_call(self):
+        compiles("""
+class Main {
+    static int f() { return 1; }
+    static void main() { int x = f(); }
+}
+""")
+
+    def test_this_in_static_rejected(self):
+        with pytest.raises(TypeError_, match="'this'"):
+            compiles("class Main { static void main() "
+                     "{ Main m = this; } }")
+
+    def test_class_name_as_value_rejected(self):
+        rejects("int x = Calc;", "used", self.EXTRA)
+
+    def test_ctor_arity(self):
+        rejects("Calc c = new Calc();", "expects 1", self.EXTRA)
+
+    def test_new_of_class_without_ctor_takes_no_args(self):
+        extra = "class Empty {}"
+        check_main("Empty e = new Empty();", extra)
+        rejects("Empty e = new Empty(1);", "expects 0", extra)
+
+    def test_new_builtin_rejected(self):
+        rejects("int x = 0; Str s = new Str();", "builtin")
+
+    def test_sys_natives_typed(self):
+        check_main('Sys.print("x"); Sys.printInt(3); '
+                   "Sys.printBool(true); Sys.phase(\"p\");")
+        rejects("Sys.printInt(true);", "argument")
+        rejects("Sys.ghost();", "no Sys native")
+
+    def test_str_builtins_typed(self):
+        check_main("string s = Str.ofInt(3); s = Str.chr(65);")
+        rejects("string s = Str.ghost(1);", "no Str builtin")
+
+    def test_string_methods(self):
+        check_main('string s = "abc"; int n = s.length(); '
+                   "int c = s.charAt(0); bool b = s.equals(s); "
+                   "int h = s.hash(); int r = s.compare(s);")
+        rejects('string s = "x"; s.ghost();', "no string method")
+
+    def test_void_call_as_value_rejected(self):
+        extra = "class W { void f() {} }"
+        rejects("W w = new W(); int x = w.f();", "cannot assign",
+                extra)
+
+
+class TestReturnsAndFlow:
+    def test_missing_return_rejected(self):
+        with pytest.raises(TypeError_, match="without returning"):
+            compiles("class A { int f() { int x = 1; } } "
+                     "class Main { static void main() {} }")
+
+    def test_if_else_return_accepted(self):
+        compiles("""
+class A {
+    int f(bool b) {
+        if (b) { return 1; } else { return 2; }
+    }
+}
+class Main { static void main() {} }
+""")
+
+    def test_if_without_else_insufficient(self):
+        with pytest.raises(TypeError_, match="without returning"):
+            compiles("class A { int f(bool b) { if (b) { return 1; } } }"
+                     " class Main { static void main() {} }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(TypeError_, match="return"):
+            compiles("class A { int f() { return true; } } "
+                     "class Main { static void main() {} }")
+
+    def test_void_cannot_return_value(self):
+        with pytest.raises(TypeError_, match="void method"):
+            compiles("class A { void f() { return 1; } } "
+                     "class Main { static void main() {} }")
+
+    def test_break_outside_loop(self):
+        rejects("break;", "outside")
+
+    def test_continue_outside_loop(self):
+        rejects("continue;", "outside")
+
+    def test_break_inside_loop_ok(self):
+        check_main("while (true) { break; }")
+
+    def test_subtype_return_allowed(self):
+        compiles("""
+class A {}
+class B extends A {}
+class F {
+    A make() { return new B(); }
+}
+class Main { static void main() {} }
+""")
+
+
+class TestInheritance:
+    def test_override_same_signature(self):
+        compiles("""
+class A { int f(int x) { return x; } }
+class B extends A { int f(int x) { return x + 1; } }
+class Main { static void main() {} }
+""")
+
+    def test_override_signature_change_rejected(self):
+        with pytest.raises(TypeError_, match="signature"):
+            compiles("""
+class A { int f(int x) { return x; } }
+class B extends A { bool f(int x) { return true; } }
+class Main { static void main() {} }
+""")
+
+    def test_inherited_method_callable(self):
+        compiles("""
+class A { int f() { return 1; } }
+class B extends A {}
+class Main {
+    static void main() { B b = new B(); int x = b.f(); }
+}
+""")
+
+    def test_subclass_assignable_to_super(self):
+        compiles("""
+class A {}
+class B extends A {}
+class Main { static void main() { A a = new B(); } }
+""")
+
+    def test_super_not_assignable_to_subclass(self):
+        with pytest.raises(TypeError_, match="cannot assign"):
+            compiles("""
+class A {}
+class B extends A {}
+class Main { static void main() { B b = new A(); } }
+""")
+
+    def test_super_call_outside_ctor_rejected(self):
+        with pytest.raises(TypeError_, match="constructors"):
+            compiles("""
+class A { A() {} }
+class B extends A { void f() { super(); } }
+class Main { static void main() {} }
+""")
+
+    def test_super_call_without_superclass_rejected(self):
+        with pytest.raises(TypeError_, match="no superclass"):
+            compiles("""
+class A { A() { super(); } }
+class Main { static void main() {} }
+""")
+
+    def test_super_call_arity_checked(self):
+        with pytest.raises(TypeError_, match="super constructor"):
+            compiles("""
+class A { A(int x) {} }
+class B extends A { B() { super(); } }
+class Main { static void main() {} }
+""")
+
+    def test_implicit_this_field_access(self):
+        compiles("""
+class A {
+    int x;
+    int get() { return x; }
+    void set(int v) { x = v; }
+}
+class Main { static void main() {} }
+""")
+
+    def test_inherited_field_via_implicit_this(self):
+        compiles("""
+class A { int x; }
+class B extends A { int get() { return x; } }
+class Main { static void main() {} }
+""")
+
+
+class TestEntryPoint:
+    def test_missing_main_class(self):
+        with pytest.raises(TypeError_, match="no class"):
+            compiles("class A {}")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(TypeError_, match="static void main"):
+            compiles("class Main { static void main(int x) {} }")
+
+    def test_main_nonvoid_rejected(self):
+        with pytest.raises(TypeError_, match="static void main"):
+            compiles("class Main { static int main() { return 1; } }")
+
+    def test_instance_main_rejected(self):
+        with pytest.raises(TypeError_, match="static void main"):
+            compiles("class Main { void main() {} }")

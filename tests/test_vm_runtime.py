@@ -1,0 +1,245 @@
+"""VM runtime behaviour: errors, phases, natives, heap accounting."""
+
+import pytest
+
+from conftest import run_main
+from repro.lang import compile_source
+from repro.vm import (VM, VMArithmeticError, VMBoundsError, VMError,
+                      VMLimitError, VMNullError)
+from repro.vm.interpreter import _java_div, _java_rem, _string_hash
+from repro.vm.values import default_value, render_value
+from repro.ir.types import BOOL, INT, STRING, class_of
+
+
+class TestErrors:
+    def test_null_field_read(self):
+        extra = "class O { int x; }"
+        with pytest.raises(VMNullError, match="reading .x"):
+            run_main("O o = null; Sys.printInt(o.x);", extra=extra)
+
+    def test_null_field_write(self):
+        extra = "class O { int x; }"
+        with pytest.raises(VMNullError, match="writing .x"):
+            run_main("O o = null; o.x = 1;", extra=extra)
+
+    def test_null_receiver(self):
+        extra = "class O { void f() {} }"
+        with pytest.raises(VMNullError, match="null receiver"):
+            run_main("O o = null; o.f();", extra=extra)
+
+    def test_null_array_access(self):
+        with pytest.raises(VMNullError, match="null array"):
+            run_main("int[] a = null; Sys.printInt(a[0]);")
+
+    def test_null_array_length(self):
+        with pytest.raises(VMNullError, match="length"):
+            run_main("int[] a = null; Sys.printInt(a.length);")
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(VMBoundsError, match="out of bounds"):
+            run_main("int[] a = new int[2]; Sys.printInt(a[2]);")
+
+    def test_negative_index(self):
+        with pytest.raises(VMBoundsError):
+            run_main("int[] a = new int[2]; int i = -1; "
+                     "Sys.printInt(a[i]);")
+
+    def test_negative_array_size(self):
+        with pytest.raises(VMBoundsError, match="negative array size"):
+            run_main("int n = -3; int[] a = new int[n];")
+
+    def test_division_by_zero(self):
+        with pytest.raises(VMArithmeticError, match="division"):
+            run_main("int z = 0; Sys.printInt(1 / z);")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(VMArithmeticError, match="modulo"):
+            run_main("int z = 0; Sys.printInt(1 % z);")
+
+    def test_charat_out_of_bounds(self):
+        with pytest.raises(VMBoundsError, match="charAt"):
+            run_main('string s = "ab"; Sys.printInt(s.charAt(5));')
+
+    def test_null_string_length(self):
+        with pytest.raises(VMNullError, match="length"):
+            run_main("string s = null; Sys.printInt(s.length());")
+
+    def test_instruction_budget(self):
+        program = compile_source("""
+class Main {
+    static void main() { while (true) { } }
+}
+""")
+        vm = VM(program, max_steps=1000)
+        with pytest.raises(VMLimitError):
+            vm.run()
+
+    def test_error_carries_location(self):
+        extra = "class O { int x; }"
+        try:
+            run_main("O o = null;\nSys.printInt(o.x);", extra=extra)
+        except VMNullError as error:
+            assert error.instr is not None
+            assert error.frame is not None
+            assert "Main.main" in error.where
+        else:
+            pytest.fail("expected VMNullError")
+
+    def test_unfinalized_program_rejected(self):
+        from repro.ir.module import Program
+        with pytest.raises(VMError, match="finalized"):
+            VM(Program())
+
+
+class TestPhases:
+    def test_default_phase_is_main(self):
+        vm = run_main("Sys.printInt(1);")
+        assert set(vm.phase_counts) == {"main"}
+        assert vm.phase_counts["main"] == vm.instr_count
+
+    def test_phase_counts_partition_instructions(self):
+        body = """
+for (int i = 0; i < 10; i++) { }
+Sys.phase("work");
+for (int i = 0; i < 50; i++) { }
+Sys.phase("end");
+"""
+        vm = run_main(body)
+        assert set(vm.phase_counts) == {"main", "work", "end"}
+        assert sum(vm.phase_counts.values()) == vm.instr_count
+        assert vm.phase_counts["work"] > vm.phase_counts["end"]
+
+    def test_reentering_phase_accumulates(self):
+        body = """
+Sys.phase("a");
+for (int i = 0; i < 5; i++) { }
+Sys.phase("b");
+Sys.phase("a");
+for (int i = 0; i < 5; i++) { }
+"""
+        vm = run_main(body)
+        assert vm.phase_counts["a"] > 0
+        assert sum(vm.phase_counts.values()) == vm.instr_count
+
+
+class TestOutputAndHeap:
+    def test_print_variants(self):
+        assert run_main('Sys.print("a"); Sys.println("b"); '
+                        "Sys.printInt(-3); Sys.printBool(false);"
+                        ).stdout() == "ab\n-3false"
+
+    def test_heap_site_counts(self):
+        extra = "class O {}"
+        vm = run_main("for (int i = 0; i < 7; i++) { O o = new O(); }",
+                      extra=extra)
+        assert vm.heap.objects_allocated == 7
+        assert max(vm.heap.site_counts.values()) == 7
+
+    def test_arrays_counted_separately(self):
+        vm = run_main("int[] a = new int[4]; int[] b = new int[4];")
+        assert vm.heap.arrays_allocated == 2
+        assert vm.heap.objects_allocated == 0
+        assert vm.heap.total_allocated == 2
+
+    def test_instr_count_positive_and_deterministic(self):
+        body = "for (int i = 0; i < 9; i++) { Sys.printInt(i); }"
+        first = run_main(body)
+        second = run_main(body)
+        assert first.instr_count == second.instr_count > 0
+
+    def test_result_of_entry_is_none_for_void(self):
+        vm = run_main("Sys.printInt(1);")
+        assert vm.result is None
+        assert vm.finished
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("a,b,q,r", [
+        (7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1),
+        (-7, -2, 3, -1), (0, 5, 0, 0), (9, 3, 3, 0),
+    ])
+    def test_java_div_rem(self, a, b, q, r):
+        assert _java_div(a, b) == q
+        assert _java_rem(a, b) == r
+
+    def test_string_hash_matches_java(self):
+        # Values from java.lang.String.hashCode.
+        assert _string_hash("") == 0
+        assert _string_hash("a") == 97
+        assert _string_hash("abc") == 96354
+        assert _string_hash("hello") == 99162322
+
+    def test_string_hash_signed_32bit(self):
+        value = _string_hash("aaaaaaaaaaaaaaaaaaaaaaaa")
+        assert -(2 ** 31) <= value < 2 ** 31
+
+    def test_default_values(self):
+        assert default_value(INT) == 0
+        assert default_value(BOOL) is False
+        assert default_value(STRING) is None
+        assert default_value(class_of("X")) is None
+
+    def test_render_value(self):
+        assert render_value(None) == "null"
+        assert render_value(True) == "true"
+        assert render_value(False) == "false"
+        assert render_value(12) == "12"
+
+
+class TestDeepExecution:
+    def test_deep_recursion_no_python_stack_overflow(self):
+        """The interpreter keeps its own frame stack, so guest
+        recursion depth is not limited by Python's."""
+        extra = """
+class Deep {
+    static int down(int n) {
+        if (n == 0) { return 0; }
+        return Deep.down(n - 1) + 1;
+    }
+}
+"""
+        vm = run_main("Sys.printInt(Deep.down(5000));", extra=extra)
+        assert vm.stdout() == "5000"
+
+    def test_deep_recursion_under_tracking(self):
+        from repro.profiler import CostTracker
+        extra = """
+class Deep {
+    static int down(int n) {
+        if (n == 0) { return 0; }
+        return Deep.down(n - 1) + 1;
+    }
+}
+"""
+        tracker = CostTracker(slots=8)
+        vm = run_main("Sys.printInt(Deep.down(2000));", extra=extra,
+                      tracer=tracker)
+        assert vm.stdout() == "2000"
+        # Static recursion keeps one context: bounded graph.
+        assert tracker.graph.num_nodes < 40
+
+    def test_wide_call_fanout(self):
+        extra = """
+class Fan {
+    static int leaf(int v) { return v + 1; }
+}
+"""
+        body = """
+int acc = 0;
+for (int i = 0; i < 3000; i++) { acc = acc + Fan.leaf(i) % 7; }
+Sys.printInt(acc);
+"""
+        vm = run_main(body, extra=extra)
+        assert vm.finished
+
+    def test_long_virtual_dispatch_chain(self):
+        """A 12-class hierarchy dispatches to the right override."""
+        classes = ["class L0 { int depth() { return 0; } }"]
+        for i in range(1, 12):
+            classes.append(
+                f"class L{i} extends L{i - 1} "
+                f"{{ int depth() {{ return {i}; }} }}")
+        extra = "\n".join(classes)
+        vm = run_main("L0 x = new L11(); Sys.printInt(x.depth());",
+                      extra=extra)
+        assert vm.stdout() == "11"

@@ -1,0 +1,117 @@
+"""Tests for the workload suite: registry, variants, scaling."""
+
+import pytest
+
+from repro.vm import VM
+from repro.workloads import OPT, UNOPT, all_workloads, get_workload
+from repro.workloads.base import WorkloadSpec
+
+EXPECTED_NAMES = {"antlr_like", "bloat_like", "chart_like",
+                  "derby_like", "eclipse_like", "luindex_like",
+                  "lusearch_like", "pmd_like", "sunflow_like",
+                  "tomcat_like", "trade_like", "xalan_like"}
+
+
+def run(program):
+    vm = VM(program)
+    vm.run()
+    return vm
+
+
+class TestRegistry:
+    def test_all_expected_workloads_present(self):
+        assert {s.name for s in all_workloads()} == EXPECTED_NAMES
+
+    def test_get_by_name(self):
+        assert get_workload("bloat_like").name == "bloat_like"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope_like")
+
+    def test_metadata_populated(self):
+        for spec in all_workloads():
+            assert spec.description
+            assert spec.pattern
+            assert spec.paper_analogue
+            lo, hi = spec.expected_speedup
+            assert 0 <= lo < hi <= 1
+            assert spec.default_scale
+            assert spec.small_scale
+            assert set(spec.small_scale) == set(spec.default_scale)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads import register
+        with pytest.raises(ValueError, match="duplicate"):
+            register(WorkloadSpec(
+                name="bloat_like", description="", pattern="",
+                paper_analogue="", source_unopt="", source_opt=""))
+
+
+class TestScaling:
+    def test_tokens_substituted(self):
+        spec = get_workload("chart_like")
+        text = spec.source(UNOPT)
+        assert "__SERIES__" not in text
+        assert "__POINTS__" not in text
+
+    def test_override_applied(self):
+        spec = get_workload("chart_like")
+        text = spec.source(UNOPT, {"SERIES": 123456})
+        assert "123456" in text
+
+    def test_unknown_override_keys_ignored(self):
+        spec = get_workload("chart_like")
+        # Sharing one dict across the suite must not fail.
+        spec.source(UNOPT, {"TXNS": 5, "SERIES": 2, "POINTS": 2})
+
+    def test_small_scale_is_smaller(self):
+        for spec in all_workloads():
+            small = run(spec.build(UNOPT, spec.small_scale))
+            assert small.instr_count < 150_000, spec.name
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+class TestVariants:
+    def test_outputs_match_and_opt_is_faster(self, name):
+        spec = get_workload(name)
+        unopt = run(spec.build(UNOPT, spec.small_scale))
+        opt = run(spec.build(OPT, spec.small_scale))
+        assert unopt.stdout() == opt.stdout()
+        assert unopt.stdout().strip()
+        assert opt.instr_count < unopt.instr_count
+
+    def test_deterministic(self, name):
+        spec = get_workload(name)
+        first = run(spec.build(UNOPT, spec.small_scale))
+        second = run(spec.build(UNOPT, spec.small_scale))
+        assert first.stdout() == second.stdout()
+        assert first.instr_count == second.instr_count
+
+
+class TestBloatSignatures:
+    """Each workload must actually exhibit its advertised symptom."""
+
+    def test_bloat_like_allocates_comparators(self):
+        spec = get_workload("bloat_like")
+        vm = run(spec.build(UNOPT, spec.small_scale))
+        opt = run(spec.build(OPT, spec.small_scale))
+        # Comparator + builder churn gone in the optimized variant.
+        assert opt.heap.total_allocated < vm.heap.total_allocated / 1.5
+
+    def test_chart_like_opt_allocates_almost_nothing(self):
+        spec = get_workload("chart_like")
+        opt = run(spec.build(OPT, spec.small_scale))
+        assert opt.heap.total_allocated <= 2
+
+    def test_trade_like_has_phases(self):
+        spec = get_workload("trade_like")
+        vm = run(spec.build(UNOPT, spec.small_scale))
+        assert {"startup", "steady", "shutdown"} <= \
+            set(vm.phase_counts)
+
+    def test_sunflow_like_opt_removes_clones(self):
+        spec = get_workload("sunflow_like")
+        unopt = run(spec.build(UNOPT, spec.small_scale))
+        opt = run(spec.build(OPT, spec.small_scale))
+        assert opt.heap.total_allocated < unopt.heap.total_allocated / 4
