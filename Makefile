@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-small examples table1 casestudies clean
+.PHONY: install test bench bench-small bench-json examples table1 \
+	casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +16,11 @@ bench:
 
 bench-small:
 	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable benchmark record (BENCH_PR1.json at the repo root):
+# VM/tracker throughput plus batched-vs-per-node analysis wall time.
+bench-json:
+	$(PYTHON) benchmarks/bench_to_json.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

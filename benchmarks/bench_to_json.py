@@ -1,0 +1,183 @@
+"""Write the machine-readable benchmark record (``make bench-json``).
+
+Produces ``BENCH_PR1.json`` at the repo root with the two numbers the
+batched-engine work is accountable for:
+
+* VM/tracker throughput (untraced, cost-tracked at s=8 and s=16) on
+  the fixed mid-size workload also used by
+  ``bench_tracker_throughput.py``;
+* batched vs per-node wall time for the table-1 cost-benefit analysis
+  path (field RAC/RAB slicing queries) and for the all-node
+  Definition-4 cost sweep, measured on the analysis-stress pipeline
+  (``repro.workloads.stress``) whose graph is sized like a real
+  whole-execution profile rather than a test workload.
+
+Runs standalone: ``python benchmarks/bench_to_json.py [output.json]``.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.analyses.batch import BatchSliceEngine          # noqa: E402
+from repro.analyses.cost import abstract_cost              # noqa: E402
+from repro.analyses.relative import INFINITE, hrab, hrac   # noqa: E402
+from repro.profiler import CostTracker                     # noqa: E402
+from repro.vm import VM                                    # noqa: E402
+from repro.workloads import get_workload                   # noqa: E402
+from repro.workloads.stress import build_stress            # noqa: E402
+
+#: Same fixed scale as bench_tracker_throughput.py.
+THROUGHPUT_SCALE = {"W": 24, "H": 12, "SHADE": 4}
+STRESS = {"stages": 96, "chain": 24, "rounds": 3}
+REPEATS = 3
+
+
+def _best(fn, repeats=REPEATS, warmup=True):
+    """Best-of-N wall time (and the last return value).
+
+    One untimed warmup run first, so CPU frequency scaling and
+    allocator warmup don't land in the recorded numbers; skipped for
+    the long-running reference sweeps where it would double the cost.
+    """
+    if warmup:
+        fn()
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, value
+
+
+def vm_throughput():
+    program = get_workload("sunflow_like").build("unopt", THROUGHPUT_SCALE)
+
+    def run_untraced():
+        vm = VM(program)
+        vm.run()
+        return vm
+
+    untraced_s, vm = _best(run_untraced)
+    instrs = vm.instr_count
+
+    def tracked(slots):
+        def run():
+            VM(program, tracer=CostTracker(slots=slots)).run()
+        seconds, _ = _best(run)
+        return instrs / seconds
+
+    untraced_ops = instrs / untraced_s
+    s8_ops = tracked(8)
+    s16_ops = tracked(16)
+    return {
+        "workload": "sunflow_like",
+        "scale": THROUGHPUT_SCALE,
+        "instructions": instrs,
+        "untraced_ops_per_sec": round(untraced_ops),
+        "tracked_s8_ops_per_sec": round(s8_ops),
+        "tracked_s16_ops_per_sec": round(s16_ops),
+        "overhead_s16": round(untraced_ops / s16_ops, 2),
+    }
+
+
+def _per_node_field_racs(graph):
+    return {key: sum(hrac(graph, n) for n in stores) / len(stores)
+            for key, stores in graph.field_stores().items()}
+
+
+def _per_node_field_rabs(graph, native_benefit="infinite"):
+    rabs = {}
+    for key, loads in graph.field_loads().items():
+        total = 0.0
+        saw_native = False
+        for node in loads:
+            benefit = hrab(graph, node, native_benefit)
+            if benefit == INFINITE:
+                saw_native = True
+                break
+            total += benefit
+        rabs[key] = INFINITE if saw_native else total / len(loads)
+    return rabs
+
+
+def analysis_speedups():
+    program = build_stress(**STRESS)
+    tracker = CostTracker(slots=16)
+    VM(program, tracer=tracker).run()
+    graph = tracker.graph
+
+    ref_cb_s, ref_cb = _best(
+        lambda: (_per_node_field_racs(graph),
+                 _per_node_field_rabs(graph)))
+
+    def batched_cost_benefit():
+        engine = BatchSliceEngine(graph)   # rebuilt: build cost included
+        return engine.field_racs(), engine.field_rabs()
+
+    bat_cb_s, bat_cb = _best(batched_cost_benefit)
+    if ref_cb != bat_cb:
+        raise AssertionError("batched cost-benefit diverged from reference")
+
+    n = graph.num_nodes
+    ref_sweep_s, ref_costs = _best(
+        lambda: [abstract_cost(graph, v) for v in range(n)],
+        repeats=1, warmup=False)
+
+    def batched_sweep():
+        return BatchSliceEngine(graph).abstract_costs()
+
+    bat_sweep_s, bat_costs = _best(batched_sweep)
+    if ref_costs != bat_costs:
+        raise AssertionError("batched cost sweep diverged from reference")
+
+    return {
+        "stress_program": dict(STRESS, nodes=graph.num_nodes,
+                               edges=graph.num_edges),
+        "cost_benefit_path": {
+            "queries": sum(len(v) for v in graph.field_stores().values())
+            + sum(len(v) for v in graph.field_loads().values()),
+            "per_node_seconds": round(ref_cb_s, 4),
+            "batched_seconds": round(bat_cb_s, 4),
+            "speedup": round(ref_cb_s / bat_cb_s, 1),
+        },
+        "all_node_cost_sweep": {
+            "queries": n,
+            "per_node_seconds": round(ref_sweep_s, 4),
+            "batched_seconds": round(bat_sweep_s, 4),
+            "speedup": round(ref_sweep_s / bat_sweep_s, 1),
+        },
+    }
+
+
+def main(argv):
+    out_path = argv[1] if len(argv) > 1 \
+        else os.path.join(_ROOT, "BENCH_PR1.json")
+    record = {
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "vm_throughput": vm_throughput(),
+        "analysis": analysis_speedups(),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 """Client analyses over the abstract thin dependence graph."""
 
+from .batch import (BatchSliceEngine, MethodLocalCostIndex,
+                    ReachabilityIndex, engine_for)
 from .cachecost import CacheReport, analyze_caches, format_cache_report
 from .collections_rank import rank_collections
 from .copyprofile import BOTTOM, CopyChain, CopyProfiler
@@ -26,6 +28,8 @@ from .typestate import (TypestateSpec, TypestateTracker, Violation,
                         file_protocol)
 
 __all__ = [
+    "BatchSliceEngine", "MethodLocalCostIndex", "ReachabilityIndex",
+    "engine_for",
     "abstract_cost", "absolute_cost", "ConcreteThinSlicer",
     "TaintCostTracker", "sink_costs_from_graph",
     "hrac", "hrab", "field_racs", "field_rabs", "reference_tree",

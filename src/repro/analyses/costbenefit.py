@@ -117,6 +117,7 @@ def explain_site(graph: DependenceGraph, program, iid: int,
     writes it (source lines), its RAC and RAB, and whether its values
     ever reach output — the detail needed to act on a report entry.
     """
+    from .batch import engine_for
     from .relative import (field_racs, field_rabs, object_cost_benefit,
                            reference_tree)
 
@@ -124,8 +125,9 @@ def explain_site(graph: DependenceGraph, program, iid: int,
     what, method, line = descriptions.get(iid, ("?", "?", 0))
     lines = [f"{what} allocated in {method} (line {line})"]
 
-    racs = field_racs(graph)
-    rabs = field_rabs(graph, native_benefit)
+    engine = engine_for(graph)
+    racs = field_racs(graph, engine=engine)
+    rabs = field_rabs(graph, native_benefit, engine=engine)
     alloc_keys = [key for key in graph.alloc_nodes() if key[0] == iid]
     if not alloc_keys:
         lines.append("  (no tracked activity for this site)")

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..profiler.graph import F_CONSUMER, F_NATIVE, F_PREDICATE, \
-    DependenceGraph
+from ..profiler.graph import F_CONSUMER, DependenceGraph
 
 
 @dataclass
@@ -57,37 +56,12 @@ def _consumer_reachability(graph: DependenceGraph):
 
     Backward fixpoint over the def-use edges (handles cycles): a node
     reaches a consumer kind if it is one or any successor reaches one.
+    Delegates to the batched engine, which walks the frozen CSR arrays
+    instead of the per-node predecessor sets.
     """
-    n = graph.num_nodes
-    reach_native = bytearray(n)
-    reach_pred = bytearray(n)
-    flags = graph.flags
-    preds = graph.preds
+    from .batch import engine_for
 
-    worklist = []
-    for node_id in range(n):
-        f = flags[node_id]
-        if f & F_NATIVE:
-            reach_native[node_id] = 1
-            worklist.append(node_id)
-        if f & F_PREDICATE:
-            reach_pred[node_id] = 1
-            worklist.append(node_id)
-    while worklist:
-        node_id = worklist.pop()
-        native = reach_native[node_id]
-        pred = reach_pred[node_id]
-        for p in preds[node_id]:
-            changed = False
-            if native and not reach_native[p]:
-                reach_native[p] = 1
-                changed = True
-            if pred and not reach_pred[p]:
-                reach_pred[p] = 1
-                changed = True
-            if changed:
-                worklist.append(p)
-    return reach_native, reach_pred
+    return engine_for(graph).consumer_reachability()
 
 
 def dead_star(graph: DependenceGraph):

@@ -68,6 +68,10 @@ def _method_local_cost(graph: DependenceGraph, start: int,
     nodes belonging to other methods — those are the method's inputs
     (parameter values and callee results), which the §3.2 client
     measures the return value *relative to*.
+
+    Per-node reference implementation;
+    :class:`repro.analyses.batch.MethodLocalCostIndex` answers the
+    same query from one batched condensation pass.
     """
     flags = graph.flags
     preds = graph.preds
@@ -96,14 +100,17 @@ def return_costs(graph: DependenceGraph, return_nodes, program,
     ``return_nodes`` is ``CostTracker.return_nodes`` (return iid ->
     producing graph nodes).  The cost of one return site is the summed
     method-local, heap-bounded backward cost of its producing nodes; a
-    method's cost averages its sites.
+    method's cost averages its sites.  All sites are answered from one
+    batched method-confined condensation instead of one BFS per node.
     """
+    from .batch import MethodLocalCostIndex
+
     mapping = _iid_to_method(program)
+    index = MethodLocalCostIndex(graph, mapping)
     by_method = {}
     for iid, nodes in return_nodes.items():
         name = mapping.get(iid, "?")
-        cost = sum(_method_local_cost(graph, node, name, mapping)
-                   for node in nodes)
+        cost = sum(index.cost(node, name) for node in nodes)
         totals = by_method.setdefault(name, [0, 0.0])
         totals[0] += len(nodes)
         totals[1] += cost

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..profiler.graph import (F_HEAP_READ, F_HEAP_WRITE, F_NATIVE,
                               DependenceGraph)
+from .batch import engine_for
 
 INFINITE = float("inf")
 
@@ -32,7 +33,11 @@ DEFAULT_TREE_DEPTH = 4
 
 
 def hrac(graph: DependenceGraph, node_id: int) -> int:
-    """Heap-relative abstract cost of one (store) node."""
+    """Heap-relative abstract cost of one (store) node.
+
+    Per-node reference implementation; batch queries should go through
+    :func:`repro.analyses.batch.engine_for` instead.
+    """
     reachable = graph.backward_reachable(node_id,
                                          stop_flags=F_HEAP_READ)
     freq = graph.freq
@@ -153,29 +158,27 @@ def control_inclusive_hrac(graph: DependenceGraph, node_id: int) -> int:
     return sum(freq[n] for n in visited)
 
 
-def field_racs(graph: DependenceGraph):
-    """(alloc_key, field) -> RAC (average HRAC over its store nodes)."""
-    racs = {}
-    for field_key, stores in graph.field_stores().items():
-        total = sum(hrac(graph, n) for n in stores)
-        racs[field_key] = total / len(stores)
-    return racs
+def field_racs(graph: DependenceGraph, engine=None):
+    """(alloc_key, field) -> RAC (average HRAC over its store nodes).
+
+    Answered by the batched slicing engine — all store-node HRACs come
+    from one SCC/bitset propagation pass instead of one BFS per store.
+    """
+    if engine is None:
+        engine = engine_for(graph)
+    return engine.field_racs()
 
 
-def field_rabs(graph: DependenceGraph, native_benefit: str = "infinite"):
+def field_rabs(graph: DependenceGraph, native_benefit: str = "infinite",
+               engine=None):
     """(alloc_key, field) -> RAB (average HRAB over its load nodes).
 
     Fields that are written but never read have no entry; callers treat
-    missing entries as zero benefit.
+    missing entries as zero benefit.  Batched like :func:`field_racs`.
     """
-    rabs = {}
-    for field_key, loads in graph.field_loads().items():
-        benefits = [hrab(graph, n, native_benefit) for n in loads]
-        if INFINITE in benefits:
-            rabs[field_key] = INFINITE
-        else:
-            rabs[field_key] = sum(benefits) / len(benefits)
-    return rabs
+    if engine is None:
+        engine = engine_for(graph)
+    return engine.field_rabs(native_benefit)
 
 
 def reference_tree(graph: DependenceGraph, root_key, depth: int):
@@ -272,9 +275,15 @@ def object_cost_benefit(graph: DependenceGraph, root_key,
 def all_object_cost_benefits(graph: DependenceGraph,
                              depth: int = DEFAULT_TREE_DEPTH,
                              native_benefit: str = "infinite"):
-    """ObjectCostBenefit for every context-annotated allocation."""
-    racs = field_racs(graph)
-    rabs = field_rabs(graph, native_benefit)
+    """ObjectCostBenefit for every context-annotated allocation.
+
+    One shared batched engine serves every field's RAC and RAB, so the
+    whole ranking costs two reachability passes over Gcost regardless
+    of how many allocation sites are reported.
+    """
+    engine = engine_for(graph)
+    racs = field_racs(graph, engine=engine)
+    rabs = field_rabs(graph, native_benefit, engine=engine)
     results = []
     for alloc_key in graph.alloc_nodes():
         results.append(object_cost_benefit(

@@ -424,7 +424,7 @@ class CallNative(Instruction):
     into them are treated as reaching program output.
     """
 
-    __slots__ = ("dest", "native", "args")
+    __slots__ = ("dest", "native", "args", "resolved_native")
     op = OP_CALL_NATIVE
 
     def __init__(self, dest, native: str, args, line: int = 0):
@@ -432,6 +432,10 @@ class CallNative(Instruction):
         self.dest = dest
         self.native = native
         self.args = list(args)
+        #: Callable bound by Program.finalize() so the interpreter's
+        #: hot path skips the per-execution registry lookup; stays
+        #: None for unknown natives (reported when executed).
+        self.resolved_native = None
 
     def uses(self):
         return tuple(self.args)

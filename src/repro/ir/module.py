@@ -169,6 +169,7 @@ class Program:
         self._build_tables()
         self._assign_iids_and_labels()
         self._resolve_calls()
+        self._resolve_natives()
         self._resolve_entry(entry_class, entry_method)
         self.finalized = True
         if verify:
@@ -279,6 +280,17 @@ class Program:
                     f"no method {instr.class_name}.{instr.method_name} "
                     f"for {instr.kind} call")
             instr.resolved = md
+
+    def _resolve_natives(self):
+        """Bind native callables once so the VM hot path skips the
+        per-execution registry lookup.  Unknown names stay unresolved
+        and keep raising at execution time, preserving the lazy-error
+        contract for natives that are never reached."""
+        from ..vm.natives import NATIVES
+
+        for instr in self.instructions:
+            if instr.op == ins.OP_CALL_NATIVE:
+                instr.resolved_native = NATIVES.get(instr.native)
 
     def _resolve_entry(self, entry_class: str, entry_method: str):
         cls = self.classes.get(entry_class)

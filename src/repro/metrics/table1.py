@@ -63,6 +63,9 @@ def profile_workload(spec, slots: int, variant: str = "unopt",
             f"{spec.name}: tracking changed program output")
 
     graph = tracker.graph
+    # Freeze once: measure_bloat runs over the CSR snapshot and
+    # memory_bytes reports the flat-array accounting.
+    graph.freeze()
     metrics = measure_bloat(graph, traced_vm.instr_count)
     overhead = traced_seconds / plain_seconds if plain_seconds > 0 \
         else float("inf")

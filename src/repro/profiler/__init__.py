@@ -7,13 +7,15 @@ from .context import (average_conflict_ratio, conflict_ratio, context_slot,
 from .domains import AbstractThinSlicer
 from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     EFFECT_STORE, F_ALLOC, F_CONSUMER, F_HEAP_READ,
-                    F_HEAP_WRITE, F_NATIVE, F_PREDICATE, DependenceGraph)
+                    F_HEAP_WRITE, F_NATIVE, F_PREDICATE, CSRGraph,
+                    DependenceGraph)
 from .serialize import (graph_from_dict, graph_to_dict, load_graph,
                         load_graph_with_meta, save_graph)
 from .tracker import CostTracker
 
 __all__ = [
     "TracerBase", "CostTracker", "AbstractThinSlicer", "DependenceGraph",
+    "CSRGraph",
     "extend_context", "context_slot", "conflict_ratio",
     "average_conflict_ratio",
     "CONTEXTLESS", "ELM",

@@ -24,6 +24,7 @@ structure:
 from __future__ import annotations
 
 import sys
+from array import array
 
 # Node flags.
 F_ALLOC = 1        # 'U' — allocates an object or array
@@ -45,6 +46,40 @@ EFFECT_ALLOC = "U"
 EFFECT_STORE = "B"
 EFFECT_LOAD = "C"
 
+_EMPTY_SET_BYTES = sys.getsizeof(set())
+
+
+class CSRGraph:
+    """Frozen adjacency in compressed-sparse-row form.
+
+    ``fwd_offsets[v]:fwd_offsets[v+1]`` indexes the slice of
+    ``fwd_targets`` holding v's successors (sorted, so iteration order
+    is deterministic); the ``bwd_*`` pair is the predecessor dual.
+    Built by :meth:`DependenceGraph.freeze` and shared by the batched
+    analyses; it is a read-only snapshot — the mutable ``preds``/
+    ``succs`` sets remain the source of truth and a snapshot is stale
+    (and automatically rebuilt) once node or edge counts change.
+    """
+
+    __slots__ = ("num_nodes", "num_edges",
+                 "fwd_offsets", "fwd_targets",
+                 "bwd_offsets", "bwd_targets")
+
+    def __init__(self, num_nodes, num_edges,
+                 fwd_offsets, fwd_targets, bwd_offsets, bwd_targets):
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.fwd_offsets = fwd_offsets
+        self.fwd_targets = fwd_targets
+        self.bwd_offsets = bwd_offsets
+        self.bwd_targets = bwd_targets
+
+    def memory_bytes(self) -> int:
+        return (sys.getsizeof(self.fwd_offsets)
+                + sys.getsizeof(self.fwd_targets)
+                + sys.getsizeof(self.bwd_offsets)
+                + sys.getsizeof(self.bwd_targets))
+
 
 class DependenceGraph:
     """Gcost and its client-analysis cousins."""
@@ -65,12 +100,24 @@ class DependenceGraph:
         self.control_deps = {}
         self._ids = {}         # (iid, d) -> node id
         self._edge_count = 0
+        self._csr = None       # CSRGraph snapshot (see freeze())
+        # One-entry lookup cache: hot traces touch the same (iid, d)
+        # node repeatedly (loops re-executing one instruction under one
+        # context slot), so remember the last hit and skip the dict.
+        self._last_key = None
+        self._last_id = -1
 
     # -- construction -------------------------------------------------------
 
     def node(self, iid: int, d: int, flag: int = 0) -> int:
         """Get-or-create the node for ``(iid, d)``; bumps its frequency."""
         key = (iid, d)
+        if key == self._last_key:
+            node_id = self._last_id
+            self.freq[node_id] += 1
+            if flag:
+                self.flags[node_id] |= flag
+            return node_id
         node_id = self._ids.get(key)
         if node_id is None:
             node_id = len(self.node_keys)
@@ -84,6 +131,8 @@ class DependenceGraph:
             self.freq[node_id] += 1
             if flag:
                 self.flags[node_id] |= flag
+        self._last_key = key
+        self._last_id = node_id
         return node_id
 
     def find(self, iid: int, d: int):
@@ -193,6 +242,44 @@ class DependenceGraph:
                 worklist.append(succ)
         return visited
 
+    # -- freezing ---------------------------------------------------------------
+
+    def freeze(self) -> CSRGraph:
+        """Snapshot the adjacency into CSR arrays for batched analyses.
+
+        Idempotent: returns the cached snapshot while the node and edge
+        counts are unchanged, and rebuilds it otherwise (construction
+        never mutates the snapshot in place, so tracking can resume
+        after an analysis pass without invalidating anything by hand).
+        Flag and frequency updates do not stale a snapshot — CSR holds
+        adjacency only; analyses read ``flags``/``freq`` live.
+        """
+        csr = self._csr
+        n = len(self.node_keys)
+        if (csr is not None and csr.num_nodes == n
+                and csr.num_edges == self._edge_count):
+            return csr
+        fwd_offsets = array("q", bytes(8 * (n + 1)))
+        bwd_offsets = array("q", bytes(8 * (n + 1)))
+        fwd_targets = array("q")
+        bwd_targets = array("q")
+        for v in range(n):
+            fwd_targets.extend(sorted(self.succs[v]))
+            fwd_offsets[v + 1] = len(fwd_targets)
+            bwd_targets.extend(sorted(self.preds[v]))
+            bwd_offsets[v + 1] = len(bwd_targets)
+        csr = CSRGraph(n, self._edge_count, fwd_offsets, fwd_targets,
+                       bwd_offsets, bwd_targets)
+        self._csr = csr
+        return csr
+
+    @property
+    def frozen(self) -> bool:
+        """True while the cached CSR snapshot matches the graph."""
+        csr = self._csr
+        return (csr is not None and csr.num_nodes == len(self.node_keys)
+                and csr.num_edges == self._edge_count)
+
     # -- reporting ---------------------------------------------------------------
 
     def memory_bytes(self) -> int:
@@ -200,9 +287,18 @@ class DependenceGraph:
         total = sys.getsizeof(self.node_keys)
         total += sys.getsizeof(self.freq)
         total += sys.getsizeof(self.flags)
-        total += sum(sys.getsizeof(s) for s in self.preds)
-        total += sum(sys.getsizeof(s) for s in self.succs)
         total += sys.getsizeof(self.preds) + sys.getsizeof(self.succs)
+        if self.frozen:
+            # The CSR arrays mirror the adjacency; charge the sets with
+            # a flat per-container/per-edge estimate instead of walking
+            # every set (the point of freezing is that analyses no
+            # longer touch them).
+            total += self._csr.memory_bytes()
+            total += 2 * _EMPTY_SET_BYTES * len(self.preds)
+            total += 2 * 32 * self._edge_count
+        else:
+            total += sum(sys.getsizeof(s) for s in self.preds)
+            total += sum(sys.getsizeof(s) for s in self.succs)
         total += sys.getsizeof(self.effects)
         total += sys.getsizeof(self.ref_edges)
         total += sys.getsizeof(self._ids)

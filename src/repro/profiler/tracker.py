@@ -68,6 +68,20 @@ class CostTracker(TracerBase):
         #: return-instruction iid -> {nodes that produced returned
         #: values}; consumed by the method-level return-cost client.
         self.return_nodes = {}
+        # Per-opcode handler binding: trace_instr fires once per
+        # executed instruction, so resolve the opcode to its handler
+        # through one list index instead of an if/elif ladder.
+        dispatch = [self._trace_unexpected] * (ins.OP_INTRINSIC + 1)
+        dispatch[ins.OP_BRANCH] = self._trace_branch
+        dispatch[ins.OP_CONST] = self._trace_const
+        dispatch[ins.OP_MOVE] = self._trace_single_use
+        dispatch[ins.OP_UNOP] = self._trace_single_use
+        dispatch[ins.OP_BINOP] = self._trace_binop
+        dispatch[ins.OP_INTRINSIC] = self._trace_intrinsic
+        dispatch[ins.OP_ARRAY_LEN] = self._trace_array_len
+        dispatch[ins.OP_LOAD_STATIC] = self._trace_load_static
+        dispatch[ins.OP_STORE_STATIC] = self._trace_store_static
+        self._instr_dispatch = dispatch
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -94,8 +108,8 @@ class CostTracker(TracerBase):
         node_id = graph.node(iid, dctx, flag)
         if self.track_cr:
             gs = self._node_gs
-            while len(gs) <= node_id:
-                gs.append(None)
+            if len(gs) <= node_id:
+                gs.extend([None] * (node_id + 1 - len(gs)))
             if gs[node_id] is None:
                 gs[node_id] = {g}
             else:
@@ -124,74 +138,99 @@ class CostTracker(TracerBase):
     # -- plain instructions ------------------------------------------------------
 
     def trace_instr(self, instr, frame):
-        op = instr.op
+        self._instr_dispatch[instr.op](instr, frame)
+
+    def _trace_unexpected(self, instr, frame):  # pragma: no cover
+        raise AssertionError(
+            f"trace_instr fired for unexpected opcode {instr.op}")
+
+    def _trace_branch(self, instr, frame):
+        # Predicate consumer node, contextless (rule PREDICATE).
         graph = self.graph
-        shadow = self._shadow(frame)
+        node = graph.node(instr.iid, CONTEXTLESS, F_PREDICATE)
+        src = self._shadow(frame).get(instr.cond)
+        if src is not None:
+            graph.add_edge(src, node)
+        outcomes = self.branch_outcomes.get(instr.iid)
+        if outcomes is None:
+            outcomes = self.branch_outcomes[instr.iid] = [0, 0]
+        outcomes[0 if frame.regs[instr.cond] else 1] += 1
+        if self.track_control:
+            frame.last_pred = node
 
-        if op == ins.OP_BRANCH:
-            # Predicate consumer node, contextless (rule PREDICATE).
-            node = graph.node(instr.iid, CONTEXTLESS, F_PREDICATE)
-            src = shadow.get(instr.cond)
-            if src is not None:
-                graph.add_edge(src, node)
-            outcomes = self.branch_outcomes.get(instr.iid)
-            if outcomes is None:
-                outcomes = self.branch_outcomes[instr.iid] = [0, 0]
-            outcomes[0 if frame.regs[instr.cond] else 1] += 1
-            if self.track_control:
-                frame.last_pred = node
-            return
-
+    def _trace_const(self, instr, frame):
         node = self._node(instr.iid, frame.dctx, frame.g)
         if self.track_control:
             self._control(node, frame)
+        self._shadow(frame)[instr.dest] = node
 
-        if op == ins.OP_CONST:
-            shadow[instr.dest] = node
-        elif op == ins.OP_MOVE:
-            src = shadow.get(instr.src)
+    def _trace_single_use(self, instr, frame):
+        # Move and unary ops: one operand register named ``src``.
+        node = self._node(instr.iid, frame.dctx, frame.g)
+        if self.track_control:
+            self._control(node, frame)
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.src)
+        if src is not None:
+            self.graph.add_edge(src, node)
+        shadow[instr.dest] = node
+
+    def _trace_binop(self, instr, frame):
+        node = self._node(instr.iid, frame.dctx, frame.g)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.lhs)
+        if src is not None:
+            graph.add_edge(src, node)
+        src = shadow.get(instr.rhs)
+        if src is not None:
+            graph.add_edge(src, node)
+        shadow[instr.dest] = node
+
+    def _trace_intrinsic(self, instr, frame):
+        node = self._node(instr.iid, frame.dctx, frame.g)
+        if self.track_control:
+            self._control(node, frame)
+        graph = self.graph
+        shadow = self._shadow(frame)
+        for arg in instr.args:
+            src = shadow.get(arg)
             if src is not None:
                 graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_BINOP:
-            src = shadow.get(instr.lhs)
-            if src is not None:
-                graph.add_edge(src, node)
-            src = shadow.get(instr.rhs)
-            if src is not None:
-                graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_UNOP:
-            src = shadow.get(instr.src)
-            if src is not None:
-                graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_INTRINSIC:
-            for arg in instr.args:
-                src = shadow.get(arg)
-                if src is not None:
-                    graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_ARRAY_LEN:
-            # Array length is metadata carried by the array *value*
-            # (fixed at allocation), not ELM contents: a plain
-            # computation reading the reference, not a heap read.
-            src = shadow.get(instr.arr)
-            if src is not None:
-                graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_LOAD_STATIC:
-            graph.flags[node] |= F_HEAP_READ
-            src = self._static_shadow.get((instr.class_name, instr.field))
-            if src is not None:
-                graph.add_edge(src, node)
-            shadow[instr.dest] = node
-        elif op == ins.OP_STORE_STATIC:
-            graph.flags[node] |= F_HEAP_WRITE
-            src = shadow.get(instr.src)
-            if src is not None:
-                graph.add_edge(src, node)
-            self._static_shadow[(instr.class_name, instr.field)] = node
+        shadow[instr.dest] = node
+
+    def _trace_array_len(self, instr, frame):
+        # Array length is metadata carried by the array *value*
+        # (fixed at allocation), not ELM contents: a plain
+        # computation reading the reference, not a heap read.
+        node = self._node(instr.iid, frame.dctx, frame.g)
+        if self.track_control:
+            self._control(node, frame)
+        shadow = self._shadow(frame)
+        src = shadow.get(instr.arr)
+        if src is not None:
+            self.graph.add_edge(src, node)
+        shadow[instr.dest] = node
+
+    def _trace_load_static(self, instr, frame):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_READ)
+        if self.track_control:
+            self._control(node, frame)
+        src = self._static_shadow.get((instr.class_name, instr.field))
+        if src is not None:
+            self.graph.add_edge(src, node)
+        self._shadow(frame)[instr.dest] = node
+
+    def _trace_store_static(self, instr, frame):
+        node = self._node(instr.iid, frame.dctx, frame.g, F_HEAP_WRITE)
+        if self.track_control:
+            self._control(node, frame)
+        src = self._shadow(frame).get(instr.src)
+        if src is not None:
+            self.graph.add_edge(src, node)
+        self._static_shadow[(instr.class_name, instr.field)] = node
 
     # -- allocations ----------------------------------------------------------------
 

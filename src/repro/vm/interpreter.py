@@ -81,6 +81,7 @@ class VM:
         self.tracer = tracer
         self.max_steps = max_steps
         self.heap = Heap()
+        self._statics = {}        # (owner class, field) -> value
         self.output = []          # program output chunks (Sys.print*)
         self.instr_count = 0      # executed instruction instances (I)
         self.phase_counts = {}    # phase name -> instruction count
@@ -124,6 +125,10 @@ class VM:
             tracer.on_entry_frame(frame)
         max_steps = self.max_steps
         count = self.instr_count
+        # Tracking can only toggle inside a native (Sys.phase), so the
+        # flag is hoisted out of the dispatch loop and refreshed at the
+        # one opcode that can change it.
+        traced = tracer is not None and tracer.enabled
 
         while stack:
             frame = stack[-1]
@@ -138,8 +143,6 @@ class VM:
                 raise VMLimitError(
                     f"instruction budget of {max_steps} exceeded",
                     instr, frame)
-
-            traced = tracer is not None and tracer.enabled
 
             if op == ins.OP_BINOP:
                 regs[instr.dest] = self._binop(instr, regs, frame)
@@ -311,14 +314,19 @@ class VM:
 
             elif op == ins.OP_CALL_NATIVE:
                 self.instr_count = count  # natives may inspect the count
-                native = lookup_native(instr.native)
+                native = instr.resolved_native
+                if native is None:
+                    # Not resolvable at finalize (unknown name): raise
+                    # the usual execution-time error.
+                    native = lookup_native(instr.native)
                 args = [regs[a] for a in instr.args]
                 result = native(self, args)
                 if instr.dest is not None:
                     regs[instr.dest] = result
                 frame.pc = pc + 1
                 # Re-check: the native may have toggled tracking (phase).
-                if tracer is not None and tracer.enabled:
+                traced = tracer is not None and tracer.enabled
+                if traced:
                     tracer.trace_native(instr, frame)
 
             else:  # pragma: no cover - defensive
@@ -476,14 +484,6 @@ class VM:
                 return cls.name
             cls = cls.superclass
         raise VMError(f"unknown static field {class_name}.{field}")
-
-    @property
-    def _statics(self):
-        statics = getattr(self, "_statics_store", None)
-        if statics is None:
-            statics = {}
-            self._statics_store = statics
-        return statics
 
 
 def _is_ref(value) -> bool:

@@ -1,0 +1,89 @@
+"""Analysis-stress program generator for slicing-engine benchmarks.
+
+The suite workloads are sized for end-to-end VM runs, so their Gcost
+graphs stay small (hundreds of nodes) and a per-query BFS is nearly
+free.  The paper's setting — whole DaCapo executions — produces graphs
+where the cost-benefit ranking issues thousands of slicing queries
+whose backward cones span most of the execution history.  This module
+synthesizes a MiniJ program with that shape:
+
+* ``stages`` pipeline classes, each with a ``chain``-long pure
+  arithmetic mix in its ``step`` method ending in field stores;
+* the pipeline value is threaded stage-to-stage through *locals and
+  returns only* (no heap reads), so the HRAC cone of stage ``k``'s
+  stores covers every earlier stage's chain — cone sizes grow linearly
+  along the pipeline and the per-store reference BFS is quadratic in
+  the program size, while the batched engine stays one pass;
+* a final report loop loads every field into a running sum that
+  reaches ``Sys.printInt`` (a native), exercising the
+  infinite-benefit path of HRAB.
+
+The generated program is deliberately *not* a registered workload: it
+has no optimized variant and no paper analogue; it exists to scale the
+analysis, not the VM.
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+
+#: Field names stored by every stage (multiplies HRAC store queries).
+_FIELDS = ("accA", "accB", "accC")
+
+
+def stress_source(stages: int = 96, chain: int = 24,
+                  rounds: int = 3) -> str:
+    """MiniJ source for a ``stages``-deep pure-dataflow pipeline."""
+    parts = []
+    for i in range(stages):
+        lines = [f"class Stage{i} {{"]
+        for name in _FIELDS:
+            lines.append(f"    int {name};")
+        ctor_body = " ".join(f"{name} = {i + j};"
+                             for j, name in enumerate(_FIELDS))
+        lines.append(f"    Stage{i}() {{ {ctor_body} }}")
+        lines.append("    int step(int x) {")
+        lines.append(f"        int v0 = x + {i + 1};")
+        for j in range(1, chain):
+            # Mix the previous temp with an earlier one so the chain is
+            # a DAG, not a straight line; keep values bounded.
+            if j % 6 == 5:
+                expr = f"(v{j - 1} + v{j // 2}) % 1000003"
+            elif j % 3 == 0:
+                expr = f"v{j - 1} * 3 + v{j // 2} + {j}"
+            elif j % 3 == 1:
+                expr = f"v{j - 1} - v{j // 2} + {2 * j + 1}"
+            else:
+                expr = f"v{j - 1} + v{j // 2} * 2"
+            lines.append(f"        int v{j} = {expr};")
+        last = chain - 1
+        for j, name in enumerate(_FIELDS):
+            lines.append(f"        {name} = v{max(0, last - j)};")
+        lines.append(f"        return v{last} % 65521 + 1;")
+        lines.append("    }")
+        lines.append("}")
+        parts.append("\n".join(lines))
+
+    main = ["class Main {", "    static void main() {"]
+    for i in range(stages):
+        main.append(f"        Stage{i} s{i} = new Stage{i}();")
+    main.append("        int v = 1;")
+    main.append(f"        for (int r = 0; r < {rounds}; r++) {{")
+    for i in range(stages):
+        main.append(f"            v = s{i}.step(v);")
+    main.append("        }")
+    main.append("        int total = 0;")
+    for i in range(stages):
+        for name in _FIELDS:
+            main.append(f"        total = (total + s{i}.{name}) % 1000003;")
+    main.append("        Sys.printInt(total);")
+    main.append("        Sys.printInt(v);")
+    main.append("    }")
+    main.append("}")
+    parts.append("\n".join(main))
+    return "\n\n".join(parts)
+
+
+def build_stress(stages: int = 96, chain: int = 24, rounds: int = 3):
+    """Compile the stress pipeline to a finalized Program."""
+    return compile_source(stress_source(stages, chain, rounds))
