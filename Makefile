@@ -2,14 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-small bench-json examples table1 \
-	casestudies clean
+.PHONY: install test bench bench-small bench-json bench-json-pr2 \
+	examples table1 casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
 
+# Tier-1 verification command (matches ROADMAP.md); works from a
+# clean checkout, no `setup.py develop` needed.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -17,10 +19,14 @@ bench:
 bench-small:
 	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Machine-readable benchmark record (BENCH_PR1.json at the repo root):
-# VM/tracker throughput plus batched-vs-per-node analysis wall time.
-bench-json:
+# Machine-readable benchmark record (BENCH_PR2.json at the repo root):
+# VM/tracker throughput, batched-vs-per-node analysis wall time, and
+# parallel profiling scaling at 1/2/4/8 workers.
+bench-json-pr2:
 	$(PYTHON) benchmarks/bench_to_json.py
+
+# Backwards-compatible alias (the record used to be BENCH_PR1.json).
+bench-json: bench-json-pr2
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -7,6 +7,7 @@
     python -m repro profile program.mj        # all reports
     python -m repro profile program.mj --report cost-benefit --top 5
     python -m repro profile program.mj --save-graph gcost.json
+    python -m repro profile program.mj --jobs 4 --runs 8   # sharded
     python -m repro analyze gcost.json program.mj   # offline analysis
     python -m repro workloads --list
     python -m repro workloads bloat_like --small
@@ -37,7 +38,9 @@ def _load_program(path: str, use_stdlib: bool):
     return compile_source(source)
 
 
-def _print_reports(program, vm, tracker, which: str, top: int):
+def _print_reports(program, graph, which: str, top: int, *,
+                   heap=None, instr_count: int = 0,
+                   branch_outcomes=None, return_nodes=None):
     from .analyses import (analyze_caches, analyze_cost_benefit,
                            constant_predicates, dead_lines,
                            format_bloat_metrics, format_cache_report,
@@ -46,18 +49,16 @@ def _print_reports(program, vm, tracker, which: str, top: int):
                            format_write_read_report, measure_bloat,
                            method_costs, return_costs,
                            write_read_imbalances)
-    graph = tracker.graph
 
     if which in ("cost-benefit", "all"):
         print("== object cost-benefit (n-RAC / n-RAB) ==")
-        reports = analyze_cost_benefit(graph, program, heap=vm.heap)
+        reports = analyze_cost_benefit(graph, program, heap=heap)
         print(format_cost_benefit_report(reports, top=top))
         print()
     if which in ("bloat", "all"):
         print("== ultimately-dead values ==")
         print(format_bloat_metrics("program",
-                                   measure_bloat(graph,
-                                                 vm.instr_count)))
+                                   measure_bloat(graph, instr_count)))
         print()
     if which in ("dead", "all"):
         print("== ultimately-dead work by source line ==")
@@ -72,7 +73,7 @@ def _print_reports(program, vm, tracker, which: str, top: int):
         print()
     if which in ("returns", "all"):
         print("== return-value costs ==")
-        for entry in return_costs(graph, tracker.return_nodes,
+        for entry in return_costs(graph, return_nodes or {},
                                   program, top=top):
             print(f"  {entry.method:<40} "
                   f"x{entry.returns_observed:<6} "
@@ -86,7 +87,7 @@ def _print_reports(program, vm, tracker, which: str, top: int):
     if which in ("predicates", "all"):
         print("== always-true/false predicates ==")
         for entry in constant_predicates(graph,
-                                         tracker.branch_outcomes,
+                                         branch_outcomes or {},
                                          program)[:top]:
             print(f"  line {entry.line}: always-{entry.always} "
                   f"x{entry.executions} cost="
@@ -120,6 +121,9 @@ def cmd_disasm(args):
 
 
 def cmd_profile(args):
+    runs = args.runs if args.runs is not None else max(args.jobs, 1)
+    if args.jobs > 1 or runs > 1:
+        return _profile_parallel(args, runs)
     from .profiler import CostTracker, save_graph
     from .vm import VM
     program = _load_program(args.file, not args.no_stdlib)
@@ -138,13 +142,57 @@ def cmd_profile(args):
         from .analyses import explain_site
         print(explain_site(tracker.graph, program, args.explain))
         print()
-    _print_reports(program, vm, tracker, args.report, args.top)
+    _print_reports(program, tracker.graph, args.report, args.top,
+                   heap=vm.heap, instr_count=vm.instr_count,
+                   branch_outcomes=tracker.branch_outcomes,
+                   return_nodes=tracker.return_nodes)
     if args.save_graph:
         save_graph(tracker.graph, args.save_graph,
                    meta={"instructions": vm.instr_count,
                          "slots": args.slots,
-                         "output": vm.stdout()})
+                         "output": vm.stdout()},
+                   tracker=tracker)
         print(f"graph written to {args.save_graph}")
+    return 0
+
+
+def _profile_parallel(args, runs: int):
+    """Sharded profiling: ``runs`` executions over ``--jobs`` workers,
+    merged into one Gcost before reporting."""
+    from .profiler import ParallelProfiler, ProfileJob, save_graph
+    program = _load_program(args.file, not args.no_stdlib)
+    jobs = [ProfileJob.from_file(args.file,
+                                 use_stdlib=not args.no_stdlib,
+                                 label=f"run{i}",
+                                 max_steps=args.max_steps)
+            for i in range(runs)]
+    profiler = ParallelProfiler(workers=args.jobs, slots=args.slots,
+                                phases=set(args.phases) if args.phases
+                                else None)
+    result = profiler.profile(jobs)
+    graph = result.graph
+    print(f"shards: {runs} runs over {args.jobs} worker(s)")
+    print(f"output: {result.outputs[0]!r}")
+    print(f"instructions: {result.instructions}; merged graph: "
+          f"{graph.num_nodes} nodes / {graph.num_edges} edges; "
+          f"CR: {result.conflict_ratio():.3f}")
+    print()
+    if args.explain is not None:
+        from .analyses import explain_site
+        print(explain_site(graph, program, args.explain))
+        print()
+    _print_reports(program, graph, args.report, args.top,
+                   instr_count=result.instructions,
+                   branch_outcomes=result.state.branch_outcomes,
+                   return_nodes=result.state.return_nodes)
+    if args.save_graph:
+        save_graph(graph, args.save_graph,
+                   meta={"instructions": result.instructions,
+                         "slots": args.slots,
+                         "runs": runs,
+                         "output": result.outputs[0]},
+                   tracker=result.state)
+        print(f"merged graph written to {args.save_graph}")
     return 0
 
 
@@ -152,11 +200,16 @@ def cmd_analyze(args):
     """Offline analysis of a previously saved Gcost."""
     from .analyses import (analyze_cost_benefit, format_bloat_metrics,
                            format_cost_benefit_report, measure_bloat)
-    from .profiler import load_graph_with_meta
-    graph, meta = load_graph_with_meta(args.graph)
+    from .profiler import load_profile
+    graph, meta, state = load_profile(args.graph)
     program = _load_program(args.file, not args.no_stdlib)
-    print(f"loaded graph: {graph.num_nodes} nodes / "
-          f"{graph.num_edges} edges")
+    line = (f"loaded graph: {graph.num_nodes} nodes / "
+            f"{graph.num_edges} edges")
+    if state is not None:
+        # v2 profiles carry the tracker state, so the conflict ratio
+        # (and the predicate / return-cost clients) work offline.
+        line += f"; CR: {state.conflict_ratio(graph):.3f}"
+    print(line)
     reports = analyze_cost_benefit(graph, program)
     print(format_cost_benefit_report(reports, top=args.top))
     instructions = meta.get("instructions")
@@ -164,6 +217,21 @@ def cmd_analyze(args):
         print()
         print(format_bloat_metrics(
             "offline", measure_bloat(graph, instructions)))
+    if state is not None:
+        from .analyses import constant_predicates, return_costs
+        print()
+        print("== always-true/false predicates (offline) ==")
+        for entry in constant_predicates(graph, state.branch_outcomes,
+                                         program)[:args.top]:
+            print(f"  line {entry.line}: always-{entry.always} "
+                  f"x{entry.executions}")
+        print()
+        print("== return-value costs (offline) ==")
+        for entry in return_costs(graph, state.return_nodes, program,
+                                  top=args.top):
+            print(f"  {entry.method:<40} "
+                  f"x{entry.returns_observed:<6} "
+                  f"cost={entry.relative_cost:.1f}")
     return 0
 
 
@@ -246,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write Gcost to a JSON file")
     p.add_argument("--explain", type=int, metavar="SITE_IID",
                    help="detailed explanation of one allocation site")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sharded profiling "
+                        "(merged Gcost; default 1 = in-process)")
+    p.add_argument("--runs", type=int, default=None,
+                   help="executions to aggregate across the workers "
+                        "(default: one per job)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("analyze",

@@ -1,5 +1,5 @@
-"""Abstract dynamic thin slicing: Gcost construction and the generic
-bounded-domain slicing framework."""
+"""Abstract dynamic thin slicing: Gcost construction, the generic
+bounded-domain slicing framework, and the parallel profiling runtime."""
 
 from .base import TracerBase
 from .context import (average_conflict_ratio, conflict_ratio, context_slot,
@@ -9,13 +9,18 @@ from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     EFFECT_STORE, F_ALLOC, F_CONSUMER, F_HEAP_READ,
                     F_HEAP_WRITE, F_NATIVE, F_PREDICATE, CSRGraph,
                     DependenceGraph)
+from .parallel import (AggregateProfile, ParallelProfiler, ProfileJob,
+                       canonical_form, merge_graphs,
+                       profile_jobs_sequential)
 from .serialize import (graph_from_dict, graph_to_dict, load_graph,
-                        load_graph_with_meta, save_graph)
+                        load_graph_with_meta, load_profile, save_graph,
+                        tracker_state_from_dict)
+from .state import TrackerState
 from .tracker import CostTracker
 
 __all__ = [
     "TracerBase", "CostTracker", "AbstractThinSlicer", "DependenceGraph",
-    "CSRGraph",
+    "CSRGraph", "TrackerState",
     "extend_context", "context_slot", "conflict_ratio",
     "average_conflict_ratio",
     "CONTEXTLESS", "ELM",
@@ -23,5 +28,7 @@ __all__ = [
     "F_ALLOC", "F_CONSUMER", "F_HEAP_READ", "F_HEAP_WRITE", "F_NATIVE",
     "F_PREDICATE",
     "graph_to_dict", "graph_from_dict", "save_graph", "load_graph",
-    "load_graph_with_meta",
+    "load_graph_with_meta", "load_profile", "tracker_state_from_dict",
+    "ParallelProfiler", "ProfileJob", "AggregateProfile", "merge_graphs",
+    "profile_jobs_sequential", "canonical_form",
 ]

@@ -1,0 +1,383 @@
+"""Parallel profiling runtime: sharded execution, exact Gcost merge.
+
+§3.2 observes that Gcost can be written to external storage and
+analyzed offline; because nodes live in the *bounded abstract domain*
+``(iid, h(context))``, the graph of a workload is also exactly
+*mergeable*: the union of the graphs of independent execution shards
+— node-id remapping via the ``(iid, d)`` keys, frequency summation,
+flag OR-ing, and plain union of the def-use / reference / points-to /
+control-dependence structure — is identical (including node
+numbering, when shards are merged in order) to the graph one tracker
+would build running the shards back to back.  That licenses a
+map-reduce profiling architecture:
+
+* **map** — :class:`ParallelProfiler` fans :class:`ProfileJob`\\ s out
+  over a ``multiprocessing`` pool; each worker compiles its program,
+  runs VM + :class:`CostTracker`, and returns a compact serialized
+  profile (format v2, graph + tracker state);
+* **reduce** — the parent deserializes and folds the shards through
+  :func:`merge_graphs`, yielding one graph/state pair it can hand
+  straight to the batched slicing engine and the report clients.
+
+:func:`profile_jobs_sequential` is the executable oracle (one tracker
+accumulating across runs, per-execution shadows reset by
+``CostTracker.begin_run``); the equivalence suite in
+``tests/test_parallel.py`` checks the merge against it, and
+:func:`canonical_form` gives both sides a node-numbering-independent
+normal form.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+from .graph import DependenceGraph
+from .serialize import (graph_from_dict, graph_to_dict,
+                        tracker_state_from_dict)
+from .state import TrackerState
+from .tracker import CostTracker
+
+DEFAULT_MAX_STEPS = 2_000_000_000
+
+
+@dataclass
+class ProfileJob:
+    """One execution shard: a picklable recipe for building a program.
+
+    Workers rebuild the program from the recipe (source text, file
+    path, registered workload, or stress-generator parameters) so jobs
+    stay cheap to ship across process boundaries — compiled programs
+    never need to be pickled.
+    """
+
+    kind: str                  # "source" | "file" | "workload" | "stress"
+    spec: dict = field(default_factory=dict)
+    label: str = ""
+    max_steps: int = DEFAULT_MAX_STEPS
+
+    @classmethod
+    def from_source(cls, source: str, use_stdlib: bool = False,
+                    label: str = "source",
+                    max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+        return cls("source", {"source": source, "use_stdlib": use_stdlib},
+                   label, max_steps)
+
+    @classmethod
+    def from_file(cls, path: str, use_stdlib: bool = True,
+                  label: str = None,
+                  max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+        return cls("file", {"path": path, "use_stdlib": use_stdlib},
+                   label if label is not None else path, max_steps)
+
+    @classmethod
+    def workload(cls, name: str, variant: str = "unopt", scale=None,
+                 label: str = None,
+                 max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+        return cls("workload",
+                   {"name": name, "variant": variant,
+                    "scale": dict(scale) if scale else None},
+                   label if label is not None else f"{name}/{variant}",
+                   max_steps)
+
+    @classmethod
+    def stress(cls, stages: int = 96, chain: int = 24, rounds: int = 3,
+               seed: int = 0, label: str = None,
+               max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+        return cls("stress",
+                   {"stages": stages, "chain": chain, "rounds": rounds,
+                    "seed": seed},
+                   label if label is not None else f"stress/seed{seed}",
+                   max_steps)
+
+    def build(self):
+        """Compile this job's program (runs inside the worker)."""
+        spec = self.spec
+        if self.kind == "source":
+            return _compile(spec["source"], spec["use_stdlib"])
+        if self.kind == "file":
+            with open(spec["path"]) as handle:
+                return _compile(handle.read(), spec["use_stdlib"])
+        if self.kind == "workload":
+            from ..workloads import get_workload
+            return get_workload(spec["name"]).build(spec["variant"],
+                                                    spec["scale"])
+        if self.kind == "stress":
+            from ..workloads.stress import build_stress
+            return build_stress(**spec)
+        raise ValueError(f"unknown job kind {self.kind!r}")
+
+
+def _compile(source: str, use_stdlib: bool):
+    if use_stdlib:
+        from ..stdlib import compile_with_stdlib
+        return compile_with_stdlib(source)
+    from ..lang import compile_source
+    return compile_source(source)
+
+
+# -- the reduce operator ----------------------------------------------------
+
+
+def merge_graphs(graphs, states=None):
+    """Union shard graphs (and optionally their tracker states).
+
+    Nodes are matched by their abstract key ``(iid, d)``: frequencies
+    sum, flag masks OR, def-use edges / heap effects / reference edges
+    / points-to entries / control dependences union.  Effects of a
+    node observed in several shards keep the *last* shard's record,
+    matching the overwrite a single tracker performs when it re-visits
+    the node.  Because shards are folded in list order, the merged
+    node numbering is exactly the numbering a sequential run over the
+    concatenated shards would produce — the merge is not just
+    equivalent modulo renaming, it is bit-for-bit reproducible.
+
+    With ``states`` (one :class:`TrackerState` per graph, aligned by
+    index) the per-node context sets, branch outcome counters and
+    return-node sets are merged under the same node remapping, and the
+    call returns ``(graph, state)``; otherwise it returns the graph.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("merge_graphs needs at least one graph")
+    slots = graphs[0].slots
+    for other in graphs[1:]:
+        if other.slots != slots:
+            raise ValueError(
+                f"cannot merge graphs with different context domains "
+                f"(slots {slots} vs {other.slots})")
+    if states is not None:
+        states = list(states)
+        if len(states) != len(graphs):
+            raise ValueError("need exactly one state per graph")
+    merged = DependenceGraph(slots=slots)
+    ids = merged._ids
+    node_keys = merged.node_keys
+    freq = merged.freq
+    flags = merged.flags
+    preds = merged.preds
+    succs = merged.succs
+    merged_state = TrackerState() if states is not None else None
+    for index, src in enumerate(graphs):
+        remap = []
+        append = remap.append
+        for nid, key in enumerate(src.node_keys):
+            mid = ids.get(key)
+            if mid is None:
+                mid = len(node_keys)
+                ids[key] = mid
+                node_keys.append(key)
+                freq.append(src.freq[nid])
+                flags.append(src.flags[nid])
+                preds.append(set())
+                succs.append(set())
+            else:
+                freq[mid] += src.freq[nid]
+                flags[mid] |= src.flags[nid]
+            append(mid)
+        add_edge = merged.add_edge
+        for nid, out in enumerate(src.succs):
+            mid = remap[nid]
+            for dst in out:
+                add_edge(mid, remap[dst])
+        for nid, effect in src.effects.items():
+            merged.effects[remap[nid]] = effect
+        for store, alloc in src.ref_edges:
+            merged.ref_edges.add((remap[store], remap[alloc]))
+        # Allocation keys are (alloc_iid, context_slot) — abstract-
+        # domain values, not node ids — so points_to needs no remap.
+        for base, fields in src.points_to.items():
+            merged_fields = merged.points_to.setdefault(base, {})
+            for fname, targets in fields.items():
+                merged_fields.setdefault(fname, set()).update(targets)
+        for nid, cpreds in src.control_deps.items():
+            merged.control_deps.setdefault(remap[nid], set()).update(
+                remap[p] for p in cpreds)
+        if merged_state is not None:
+            _merge_state(merged_state, states[index], remap)
+    return merged if merged_state is None else (merged, merged_state)
+
+
+def _merge_state(dst: TrackerState, src: TrackerState, remap):
+    gs_list = dst.node_gs
+    for nid, gs in enumerate(src.node_gs):
+        if gs is None:
+            continue
+        mid = remap[nid]
+        if len(gs_list) <= mid:
+            gs_list.extend([None] * (mid + 1 - len(gs_list)))
+        if gs_list[mid] is None:
+            gs_list[mid] = set(gs)
+        else:
+            gs_list[mid].update(gs)
+    for iid, (taken, not_taken) in src.branch_outcomes.items():
+        outcomes = dst.branch_outcomes.get(iid)
+        if outcomes is None:
+            dst.branch_outcomes[iid] = [taken, not_taken]
+        else:
+            outcomes[0] += taken
+            outcomes[1] += not_taken
+    for iid, nodes in src.return_nodes.items():
+        dst.return_nodes.setdefault(iid, set()).update(
+            remap[n] for n in nodes)
+
+
+def canonical_form(graph, state=None):
+    """A node-numbering-independent normal form for equivalence checks.
+
+    Every node id is replaced by its abstract key ``(iid, d)`` and all
+    collections are sorted, so two graphs compare equal exactly when
+    they are isomorphic under the identity on keys — the correctness
+    notion of the parallel merge.  Includes tracker-side state when
+    given.
+    """
+    keys = graph.node_keys
+    form = {
+        "slots": graph.slots,
+        "nodes": sorted((key, graph.freq[n], graph.flags[n])
+                        for n, key in enumerate(keys)),
+        "edges": sorted((keys[src], keys[dst])
+                        for src, out in enumerate(graph.succs)
+                        for dst in out),
+        "effects": sorted((keys[n], kind, alloc_key, fname)
+                          for n, (kind, alloc_key, fname)
+                          in graph.effects.items()),
+        "ref_edges": sorted((keys[store], keys[alloc])
+                            for store, alloc in graph.ref_edges),
+        "points_to": sorted((base, fname, tuple(sorted(targets)))
+                            for base, fields in graph.points_to.items()
+                            for fname, targets in fields.items()),
+        "control_deps": sorted(
+            (keys[n], tuple(sorted(keys[p] for p in cpreds)))
+            for n, cpreds in graph.control_deps.items()),
+    }
+    if state is not None:
+        form["branch_outcomes"] = sorted(
+            (iid, tuple(outcomes))
+            for iid, outcomes in state.branch_outcomes.items())
+        form["return_nodes"] = sorted(
+            (iid, tuple(sorted(keys[n] for n in nodes)))
+            for iid, nodes in state.return_nodes.items())
+        form["node_gs"] = sorted(
+            (keys[n], tuple(sorted(gs)))
+            for n, gs in enumerate(state.node_gs) if gs)
+    return form
+
+
+# -- the map phase ----------------------------------------------------------
+
+
+def _run_job(payload):
+    """Worker body: build, execute, return a serialized profile."""
+    job, slots, phases, track_cr, track_control = payload
+    program = job.build()
+    tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
+                          track_control=track_control)
+    from ..vm import VM
+    vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+    vm.run()
+    return graph_to_dict(tracker.graph,
+                         meta={"label": job.label,
+                               "instructions": vm.instr_count,
+                               "output": vm.stdout()},
+                         tracker=tracker)
+
+
+@dataclass
+class AggregateProfile:
+    """The reduce result: one merged graph/state over all shards."""
+
+    graph: DependenceGraph
+    state: TrackerState
+    metas: list
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions executed across all shards."""
+        return sum(meta.get("instructions", 0) for meta in self.metas)
+
+    @property
+    def outputs(self):
+        """Per-shard program outputs, in job order."""
+        return [meta.get("output", "") for meta in self.metas]
+
+    def conflict_ratio(self) -> float:
+        return self.state.conflict_ratio(self.graph)
+
+
+class ParallelProfiler:
+    """Fan profile jobs out over worker processes; merge the graphs.
+
+    ``workers=1`` runs the jobs in-process (no pool), which is also
+    the deterministic baseline the scaling benchmark measures against.
+    The default start method is ``fork`` where available (cheap on
+    Linux; workers inherit ``sys.path``), falling back to ``spawn``.
+    """
+
+    def __init__(self, workers: int = None, slots: int = 16,
+                 phases=None, track_cr: bool = True,
+                 track_control: bool = False, start_method: str = None):
+        self.workers = workers
+        self.slots = slots
+        self.phases = frozenset(phases) if phases is not None else None
+        self.track_cr = track_cr
+        self.track_control = track_control
+        self.start_method = start_method
+
+    def _context(self):
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else available[0]
+        return multiprocessing.get_context(method)
+
+    def profile(self, jobs) -> AggregateProfile:
+        """Run every job, merge the shard profiles in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("no profile jobs given")
+        payloads = [(job, self.slots, self.phases, self.track_cr,
+                     self.track_control) for job in jobs]
+        workers = self.workers
+        if workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        if workers <= 1 or len(jobs) == 1:
+            shards = [_run_job(payload) for payload in payloads]
+        else:
+            with self._context().Pool(min(workers, len(jobs))) as pool:
+                shards = pool.map(_run_job, payloads, chunksize=1)
+        graphs = [graph_from_dict(shard) for shard in shards]
+        states = [tracker_state_from_dict(shard) for shard in shards]
+        graph, state = merge_graphs(graphs, states)
+        return AggregateProfile(graph=graph, state=state,
+                                metas=[shard["meta"] for shard in shards])
+
+
+def profile_jobs_sequential(jobs, slots: int = 16, phases=None,
+                            track_cr: bool = True,
+                            track_control: bool = False) -> AggregateProfile:
+    """The merge oracle: one tracker accumulating across all jobs.
+
+    Runs each job's program in a fresh VM under a *single*
+    :class:`CostTracker` (per-execution shadows reset between runs),
+    i.e. the "sequential run over the concatenated shards" that
+    :func:`merge_graphs` must reproduce exactly.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise ValueError("no profile jobs given")
+    tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
+                          track_control=track_control)
+    from ..vm import VM
+    metas = []
+    for job in jobs:
+        program = job.build()
+        tracker.begin_run()
+        vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+        vm.run()
+        metas.append({"label": job.label,
+                      "instructions": vm.instr_count,
+                      "output": vm.stdout()})
+    return AggregateProfile(graph=tracker.graph, state=tracker.state(),
+                            metas=metas)

@@ -5,6 +5,14 @@ analysis tool ... the JVM only needs to write Gcost to external
 storage."  These helpers round-trip a :class:`DependenceGraph` through
 a JSON document so a profiled run can be analyzed later (or elsewhere)
 without re-executing the program.
+
+Format v2 additionally carries the tracker-side state
+(:class:`~repro.profiler.state.TrackerState`): the per-node context
+sets behind the conflict ratio, the branch outcome counters, and the
+return-value node sets.  With them on disk the CR statistic and the
+predicate / return-cost clients run fully offline, and the parallel
+runtime's workers can ship complete profiles back to the merging
+parent.  v1 documents (graph only) are still readable.
 """
 
 from __future__ import annotations
@@ -12,18 +20,24 @@ from __future__ import annotations
 import json
 
 from .graph import DependenceGraph
+from .state import TrackerState
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`graph_from_dict` accepts.
+READABLE_VERSIONS = (1, 2)
 
 
-def graph_to_dict(graph: DependenceGraph, meta=None) -> dict:
+def graph_to_dict(graph: DependenceGraph, meta=None, tracker=None) -> dict:
     """A JSON-serializable snapshot of the graph.
 
     ``meta`` carries run facts the graph itself doesn't hold (e.g.
     ``{"instructions": vm.instr_count}``) so offline analyses can
-    compute trace-relative metrics like IPD.
+    compute trace-relative metrics like IPD.  ``tracker`` (a
+    :class:`CostTracker` or :class:`TrackerState`) adds the
+    tracker-side state under the ``"tracker"`` key.
     """
-    return {
+    data = {
         "version": FORMAT_VERSION,
         "meta": dict(meta) if meta else {},
         "slots": graph.slots,
@@ -47,12 +61,25 @@ def graph_to_dict(graph: DependenceGraph, meta=None) -> dict:
                          for node, preds
                          in sorted(graph.control_deps.items())],
     }
+    if tracker is not None:
+        state = tracker.state() if hasattr(tracker, "state") else tracker
+        data["tracker"] = {
+            "node_gs": [sorted(gs) if gs else None
+                        for gs in state.node_gs],
+            "branch_outcomes": [[iid, taken, not_taken]
+                                for iid, (taken, not_taken)
+                                in sorted(state.branch_outcomes.items())],
+            "return_nodes": [[iid, sorted(nodes)]
+                             for iid, nodes
+                             in sorted(state.return_nodes.items())],
+        }
+    return data
 
 
 def graph_from_dict(data: dict) -> DependenceGraph:
-    """Rebuild a graph from :func:`graph_to_dict` output."""
+    """Rebuild a graph from :func:`graph_to_dict` output (v1 or v2)."""
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ValueError(f"unsupported graph format version {version!r}")
     graph = DependenceGraph(slots=data.get("slots", 16))
     for (iid, d), freq, flags in zip(data["nodes"], data["freq"],
@@ -74,10 +101,43 @@ def graph_from_dict(data: dict) -> DependenceGraph:
     return graph
 
 
-def save_graph(graph: DependenceGraph, path, meta=None) -> None:
-    """Write the graph (and optional run metadata) to ``path``."""
+def tracker_state_from_dict(data: dict):
+    """The :class:`TrackerState` carried by a v2 document, or ``None``.
+
+    v1 documents (and v2 documents written without a tracker) have no
+    tracker section; callers fall back to graph-only analyses.
+    """
+    section = data.get("tracker")
+    if section is None:
+        return None
+    return TrackerState(
+        node_gs=[set(gs) if gs is not None else None
+                 for gs in section.get("node_gs", [])],
+        branch_outcomes={iid: [taken, not_taken]
+                         for iid, taken, not_taken
+                         in section.get("branch_outcomes", [])},
+        return_nodes={iid: set(nodes)
+                      for iid, nodes
+                      in section.get("return_nodes", [])})
+
+
+def save_graph(graph: DependenceGraph, path, meta=None,
+               tracker=None) -> None:
+    """Write the graph (plus optional metadata / tracker state)."""
     with open(path, "w") as handle:
-        json.dump(graph_to_dict(graph, meta), handle)
+        json.dump(graph_to_dict(graph, meta, tracker), handle)
+
+
+def load_profile(path):
+    """Read ``(graph, meta, state)`` from a :func:`save_graph` file.
+
+    ``state`` is ``None`` for graph-only documents (v1, or v2 saved
+    without a tracker).
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    return (graph_from_dict(data), data.get("meta", {}),
+            tracker_state_from_dict(data))
 
 
 def load_graph_with_meta(path):

@@ -1,0 +1,76 @@
+"""Tracker-side profile state that lives outside the graph.
+
+The :class:`~repro.profiler.tracker.CostTracker` accumulates three
+families of facts that clients read but :class:`DependenceGraph` does
+not store:
+
+* per-node sets of distinct encoded contexts (the raw material of the
+  context conflict ratio, §2.3);
+* per-branch taken/not-taken counts (always-true/false predicate
+  client, §3.2);
+* per-return-instruction sets of value-producing nodes (method-level
+  return-cost client).
+
+:class:`TrackerState` packages them so a profile can travel — through
+the serializer for offline analysis, and through the parallel merge
+operator when sharded runs are reduced into one graph.
+"""
+
+from __future__ import annotations
+
+from .context import average_conflict_ratio
+
+
+def extend_cr_groups(groups, node_gs, node_keys, start: int) -> int:
+    """Fold nodes ``start..`` of ``node_gs`` into the CR grouping.
+
+    ``groups`` maps ``iid -> {slot: set of encoded contexts}`` — the
+    shape :func:`~repro.profiler.context.average_conflict_ratio`
+    consumes.  Entries hold *references* to the live context sets, so
+    once a node is folded its later context insertions are visible
+    without refolding; only newly created nodes need a pass.  Returns
+    the new fold watermark (``len(node_gs)``).
+    """
+    for node_id in range(start, len(node_gs)):
+        gs = node_gs[node_id]
+        if gs is None:
+            continue
+        iid, dctx = node_keys[node_id]
+        groups.setdefault(iid, {})[dctx] = gs
+    return len(node_gs)
+
+
+class TrackerState:
+    """Per-run tracker facts (CR contexts, branch outcomes, returns).
+
+    ``node_gs`` is indexed by graph node id (``None`` for contextless
+    or untracked nodes and for any tail the list does not reach);
+    ``branch_outcomes`` maps branch iid to ``[taken, not_taken]``;
+    ``return_nodes`` maps return iid to the set of node ids whose
+    values were returned.
+    """
+
+    __slots__ = ("node_gs", "branch_outcomes", "return_nodes",
+                 "_cr_groups", "_cr_upto")
+
+    def __init__(self, node_gs=None, branch_outcomes=None,
+                 return_nodes=None):
+        self.node_gs = node_gs if node_gs is not None else []
+        self.branch_outcomes = (branch_outcomes
+                                if branch_outcomes is not None else {})
+        self.return_nodes = (return_nodes
+                             if return_nodes is not None else {})
+        self._cr_groups = {}
+        self._cr_upto = 0
+
+    def conflict_ratio(self, graph) -> float:
+        """Average CR over context-annotated instructions (Table 1).
+
+        The per-instruction regrouping of ``node_gs`` is cached and
+        extended incrementally, so repeated report calls on a large
+        (e.g. merged multi-shard) profile pay O(new nodes), not
+        O(all nodes).
+        """
+        self._cr_upto = extend_cr_groups(self._cr_groups, self.node_gs,
+                                         graph.node_keys, self._cr_upto)
+        return average_conflict_ratio(self._cr_groups)

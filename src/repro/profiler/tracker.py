@@ -30,6 +30,7 @@ from .context import average_conflict_ratio, context_slot, extend_context
 from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     EFFECT_STORE, F_ALLOC, F_HEAP_READ, F_HEAP_WRITE,
                     F_NATIVE, F_PREDICATE, DependenceGraph)
+from .state import TrackerState, extend_cr_groups
 
 
 class CostTracker(TracerBase):
@@ -68,6 +69,9 @@ class CostTracker(TracerBase):
         #: return-instruction iid -> {nodes that produced returned
         #: values}; consumed by the method-level return-cost client.
         self.return_nodes = {}
+        # Incremental CR regrouping cache (see conflict_ratio()).
+        self._cr_groups = {}
+        self._cr_upto = 0
         # Per-opcode handler binding: trace_instr fires once per
         # executed instruction, so resolve the opcode to its handler
         # through one list index instead of an if/elif ladder.
@@ -93,6 +97,20 @@ class CostTracker(TracerBase):
         frame.shadow = {}
         frame.g = 0
         frame.dctx = 0
+
+    def begin_run(self):
+        """Reset per-execution state before profiling another VM run.
+
+        The graph, CR contexts, branch outcomes and return nodes keep
+        accumulating — that is the point of multi-run aggregation (and
+        the sequential oracle the parallel merge is checked against) —
+        but shadow locations must not leak between executions: a fresh
+        VM starts with a fresh heap and fresh statics, so a def-use
+        edge from a previous run's store would be spurious.
+        """
+        self._static_shadow = {}
+        self._ret_node = None
+        self.enabled = self.phases is None or "main" in self.phases
 
     # -- helpers --------------------------------------------------------------
 
@@ -398,11 +416,27 @@ class CostTracker(TracerBase):
     # -- statistics -----------------------------------------------------------------------
 
     def conflict_ratio(self) -> float:
-        """Average CR over context-annotated instructions (Table 1)."""
-        per_instruction = {}
-        for node_id, gs in enumerate(self._node_gs):
-            if gs is None:
-                continue
-            iid, dctx = self.graph.node_keys[node_id]
-            per_instruction.setdefault(iid, {})[dctx] = gs
-        return average_conflict_ratio(per_instruction)
+        """Average CR over context-annotated instructions (Table 1).
+
+        The iid/slot regrouping of the per-node context sets is cached
+        and extended only for nodes created since the previous call
+        (the sets themselves are shared by reference, so later context
+        insertions into already-grouped nodes are picked up for free).
+        Reports that recompute CR repeatedly on a large profile pay
+        O(new nodes) instead of O(all nodes) per call.
+        """
+        self._cr_upto = extend_cr_groups(self._cr_groups, self._node_gs,
+                                         self.graph.node_keys,
+                                         self._cr_upto)
+        return average_conflict_ratio(self._cr_groups)
+
+    def state(self) -> TrackerState:
+        """The tracker-side profile facts as a :class:`TrackerState`.
+
+        The returned object shares (does not copy) the live
+        containers, so it reflects further tracking; serialize or
+        merge it once the run is finished.
+        """
+        return TrackerState(node_gs=self._node_gs,
+                            branch_outcomes=self.branch_outcomes,
+                            return_nodes=self.return_nodes)

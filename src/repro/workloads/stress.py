@@ -21,6 +21,11 @@ synthesizes a MiniJ program with that shape:
 The generated program is deliberately *not* a registered workload: it
 has no optimized variant and no paper analogue; it exists to scale the
 analysis, not the VM.
+
+``seed`` parameterizes the generated constants so the parallel
+profiling runtime can shard a stress campaign deterministically: every
+seed yields the same program *structure* (identical instruction
+layout, hence identical abstract node keys) computing different data.
 """
 
 from __future__ import annotations
@@ -32,22 +37,35 @@ _FIELDS = ("accA", "accB", "accC")
 
 
 def stress_source(stages: int = 96, chain: int = 24,
-                  rounds: int = 3) -> str:
-    """MiniJ source for a ``stages``-deep pure-dataflow pipeline."""
+                  rounds: int = 3, seed: int = 0) -> str:
+    """MiniJ source for a ``stages``-deep pure-dataflow pipeline.
+
+    ``seed`` salts the generated constants (shard identity) without
+    changing the instruction layout.
+    """
+    # Knuth-style multiplicative scramble keeps distinct seeds from
+    # producing near-identical data while seed=0 stays a no-op.
+    salt = (seed * 2654435761) % 1000003
     parts = []
     for i in range(stages):
         lines = [f"class Stage{i} {{"]
         for name in _FIELDS:
             lines.append(f"    int {name};")
-        ctor_body = " ".join(f"{name} = {i + j};"
+        ctor_body = " ".join(f"{name} = {(i + j + salt) % 1000003};"
                              for j, name in enumerate(_FIELDS))
         lines.append(f"    Stage{i}() {{ {ctor_body} }}")
         lines.append("    int step(int x) {")
-        lines.append(f"        int v0 = x + {i + 1};")
+        lines.append(f"        int v0 = x + {(i + 1 + salt) % 1000003};")
         for j in range(1, chain):
             # Mix the previous temp with an earlier one so the chain is
             # a DAG, not a straight line; keep values bounded.
-            if j % 6 == 5:
+            if j == 1:
+                # The j % 3 == 1 rule would read ``v0 - v0`` here and
+                # cancel the only input-dependent temp, making every
+                # chain value (and the program output) a constant —
+                # keep v0 alive so seeds actually change the data.
+                expr = "v0 * 3 + x + 3"
+            elif j % 6 == 5:
                 expr = f"(v{j - 1} + v{j // 2}) % 1000003"
             elif j % 3 == 0:
                 expr = f"v{j - 1} * 3 + v{j // 2} + {j}"
@@ -84,6 +102,7 @@ def stress_source(stages: int = 96, chain: int = 24,
     return "\n\n".join(parts)
 
 
-def build_stress(stages: int = 96, chain: int = 24, rounds: int = 3):
+def build_stress(stages: int = 96, chain: int = 24, rounds: int = 3,
+                 seed: int = 0):
     """Compile the stress pipeline to a finalized Program."""
-    return compile_source(stress_source(stages, chain, rounds))
+    return compile_source(stress_source(stages, chain, rounds, seed))

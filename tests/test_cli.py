@@ -83,6 +83,48 @@ def test_profile_with_phases(demo_file, capsys):
     assert "graph" in capsys.readouterr().out
 
 
+def test_profile_parallel_runs(demo_file, capsys):
+    """--jobs/--runs shard the profile and merge the Gcost."""
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--jobs", "2", "--runs", "4",
+                 "--report", "bloat"]) == 0
+    out = capsys.readouterr().out
+    assert "shards: 4 runs over 2 worker(s)" in out
+    assert "merged graph" in out
+    assert "ultimately-dead" in out
+
+
+def test_profile_parallel_matches_single(demo_file, capsys):
+    """One run over one worker reports the same graph as the plain
+    path (aggregation is the identity at runs=1)."""
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat"]) == 0
+    single = capsys.readouterr().out
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--jobs", "1", "--runs", "2",
+                 "--report", "bloat"]) == 0
+    sharded = capsys.readouterr().out
+    nodes = [line for line in single.splitlines()
+             if "instructions:" in line][0]
+    merged = [line for line in sharded.splitlines()
+              if "instructions:" in line][0]
+    # Same node/edge counts; instruction count and frequencies double.
+    assert nodes.split("graph:")[1] == merged.split("graph:")[1]
+
+
+def test_profile_parallel_save_and_analyze(demo_file, tmp_path, capsys):
+    graph_path = str(tmp_path / "merged.json")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--jobs", "2", "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["analyze", graph_path, demo_file,
+                 "--no-stdlib"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded graph" in out
+    assert "CR:" in out                      # v2 state travelled along
+    assert "return-value costs (offline)" in out
+
+
 def test_workloads_list(capsys):
     assert main(["workloads"]) == 0
     out = capsys.readouterr().out

@@ -72,3 +72,10 @@ def test_custom_domain():
     out = run_example("custom_domain.py")
     assert "range domain" in out
     assert "large value" in out
+
+
+def test_parallel_profiling():
+    out = run_example("parallel_profiling.py")
+    assert "merge equals sequential oracle: True" in out
+    assert "merged graph" in out
+    assert "field RACs computed on the merged graph" in out

@@ -309,9 +309,10 @@ if (a[0] > 0) { Sys.printInt(a[0]); }
 
     def test_json_is_plain(self):
         import json
+        from repro.profiler.serialize import FORMAT_VERSION
         graph = self._sample()
         text = json.dumps(graph_to_dict(graph))
-        assert json.loads(text)["version"] == 1
+        assert json.loads(text)["version"] == FORMAT_VERSION
 
 
 class TestSerializationMeta:
