@@ -8,6 +8,13 @@ seeded shards of the analysis-stress pipeline two ways — through the
 `ParallelProfiler` map-reduce path and through one tracker running the
 shards back to back — verifies the two profiles are canonically
 identical, and feeds the merged graph to the batched slicing engine.
+
+Every shard is a distinct ``seed`` of the same generator, so all four
+jobs share one abstract node set while computing different data — the
+property that makes the merge exact.  With a telemetry hub installed
+(``repro.observability``) the map/merge phases and the per-shard
+worker walls are traced; run with REPRO_TELEMETRY=events.jsonl to see
+the stream (``docs/OBSERVABILITY.md`` documents the events).
 """
 
 import os
@@ -16,11 +23,16 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analyses.batch import engine_for
+from repro.observability import JsonlSink, Telemetry, set_current
 from repro.profiler import (ParallelProfiler, ProfileJob,
                             canonical_form, profile_jobs_sequential)
 
 SHARDS = 4
 STRESS = {"stages": 8, "chain": 8, "rounds": 2}
+
+telemetry_path = os.environ.get("REPRO_TELEMETRY")
+if telemetry_path:
+    set_current(Telemetry(sink=JsonlSink(telemetry_path)))
 
 jobs = [ProfileJob.stress(seed=seed, **STRESS) for seed in range(SHARDS)]
 
@@ -44,3 +56,9 @@ racs = engine.field_racs()
 costliest = max(racs, key=racs.get)
 print(f"{len(racs)} field RACs computed on the merged graph; "
       f"costliest field: {costliest[1]} (RAC {racs[costliest]:.0f})")
+
+if telemetry_path:
+    from repro.observability import NULL, current
+    current().close()
+    set_current(NULL)
+    print(f"telemetry events written to {telemetry_path}")

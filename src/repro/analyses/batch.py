@@ -31,8 +31,10 @@ executable reference; the equivalence suite in
 
 from __future__ import annotations
 
+import time
 from array import array
 
+from ..observability.telemetry import current as _current_telemetry
 from ..profiler.graph import (F_HEAP_READ, F_HEAP_WRITE, F_NATIVE,
                               F_PREDICATE, DependenceGraph)
 
@@ -58,13 +60,15 @@ class ReachabilityIndex:
     """
 
     def __init__(self, num_nodes, offsets, targets, allowed, freq,
-                 mark=None):
+                 mark=None, name="index"):
         self.n = num_nodes
         self.offsets = offsets
         self.targets = targets
         self.allowed = allowed
         self.freq = freq
         self.node_mark = mark
+        #: Telemetry label for the build-phase timings.
+        self.name = name
         #: node id -> SCC id (-1 for masked-out nodes).
         self.comp = [-1] * num_nodes
         #: SCC id -> big-int bitset of SCCs in its closure (itself incl).
@@ -92,7 +96,17 @@ class ReachabilityIndex:
         edges leave into — each condensation edge contributes exactly
         one big-int OR, and no node is ever double-counted because a
         set bit identifies a whole SCC exactly once.
+
+        When the telemetry hub is enabled, the SCC-discovery and
+        closure-propagation shares of the build are timed separately
+        (one clock pair per *popped SCC*, never per node or edge) and
+        reported as a ``batch.index`` event plus
+        ``batch.scc[...]`` / ``batch.propagation[...]`` timers.
         """
+        hub = _current_telemetry()
+        clock = time.perf_counter if hub.enabled else None
+        build_start = clock() if clock else 0.0
+        prop_seconds = 0.0
         n = self.n
         offsets = self.offsets
         targets = self.targets
@@ -156,6 +170,8 @@ class ReachabilityIndex:
                     members.append(w)
                     if w == v:
                         break
+                if clock:
+                    seal_start = clock()
                 weight = 0
                 mark = False
                 children = set()
@@ -172,6 +188,18 @@ class ReachabilityIndex:
                 comp_weight.append(weight)
                 self.comp_cost.append(weight + ucost)
                 comp_mark.append(mark or umark)
+                if clock:
+                    prop_seconds += clock() - seal_start
+
+        if clock:
+            total = clock() - build_start
+            scc_seconds = max(total - prop_seconds, 0.0)
+            hub.timer_add(f"batch.scc[{self.name}]", scc_seconds)
+            hub.timer_add(f"batch.propagation[{self.name}]", prop_seconds)
+            hub.event("batch.index", index=self.name, nodes=n,
+                      sccs=len(comp_bits), dur=round(total, 6),
+                      scc_s=round(scc_seconds, 6),
+                      propagation_s=round(prop_seconds, 6))
 
     # -- queries ------------------------------------------------------------
 
@@ -282,7 +310,14 @@ class BatchSliceEngine:
 
     def __init__(self, graph: DependenceGraph):
         self.graph = graph
-        self.csr = graph.freeze()
+        hub = _current_telemetry()
+        if hub.enabled:
+            with hub.span("batch.freeze", nodes=graph.num_nodes,
+                          edges=graph.num_edges,
+                          cached=graph.frozen):
+                self.csr = graph.freeze()
+        else:
+            self.csr = graph.freeze()
         self._cost_index = None
         self._hrac_index = None
         self._hrab_index = None
@@ -297,7 +332,8 @@ class BatchSliceEngine:
             csr = self.csr
             self._cost_index = ReachabilityIndex(
                 csr.num_nodes, csr.bwd_offsets, csr.bwd_targets,
-                _allowed_mask(self.graph.flags, 0), self.graph.freq)
+                _allowed_mask(self.graph.flags, 0), self.graph.freq,
+                name="cost")
         return self._cost_index
 
     def hrac_index(self) -> ReachabilityIndex:
@@ -306,7 +342,7 @@ class BatchSliceEngine:
             self._hrac_index = ReachabilityIndex(
                 csr.num_nodes, csr.bwd_offsets, csr.bwd_targets,
                 _allowed_mask(self.graph.flags, F_HEAP_READ),
-                self.graph.freq)
+                self.graph.freq, name="hrac")
         return self._hrac_index
 
     def hrab_index(self) -> ReachabilityIndex:
@@ -316,7 +352,7 @@ class BatchSliceEngine:
             self._hrab_index = ReachabilityIndex(
                 csr.num_nodes, csr.fwd_offsets, csr.fwd_targets,
                 _allowed_mask(flags, F_HEAP_WRITE), self.graph.freq,
-                mark=_flag_mask(flags, F_NATIVE))
+                mark=_flag_mask(flags, F_NATIVE), name="hrab")
         return self._hrab_index
 
     # -- per-node queries (same contracts as the reference functions) --------
@@ -467,7 +503,7 @@ class MethodLocalCostIndex:
                     targets.append(p)
             offsets[v + 1] = len(targets)
         self.index = ReachabilityIndex(n, offsets, targets, allowed,
-                                       graph.freq)
+                                       graph.freq, name="method_local")
 
     def cost(self, node: int, method: str) -> int:
         """Equals ``_method_local_cost(graph, node, method, mapping)``."""

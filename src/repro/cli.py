@@ -8,7 +8,10 @@
     python -m repro profile program.mj --report cost-benefit --top 5
     python -m repro profile program.mj --save-graph gcost.json
     python -m repro profile program.mj --jobs 4 --runs 8   # sharded
+    python -m repro profile program.mj --telemetry run.jsonl
+    python -m repro profile program.mj --self-profile
     python -m repro analyze gcost.json program.mj   # offline analysis
+    python -m repro report gcost.json program.mj    # Markdown bloat report
     python -m repro workloads --list
     python -m repro workloads bloat_like --small
     python -m repro table1 --small
@@ -21,12 +24,33 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from .lang.errors import CompileError
 from .vm.errors import VMError
 
 REPORT_CHOICES = ("cost-benefit", "bloat", "dead", "methods",
                   "returns", "writes", "predicates", "caches", "all")
+
+
+@contextmanager
+def _telemetry_scope(path):
+    """Install a JSONL-backed telemetry hub for the duration of one
+    command (``--telemetry PATH``); a no-op when ``path`` is falsy, so
+    the default run keeps the zero-cost :data:`~repro.observability.NULL`
+    hub."""
+    if not path:
+        yield None
+        return
+    from .observability import JsonlSink, Telemetry, set_current
+    hub = Telemetry(sink=JsonlSink(path))
+    previous = set_current(hub)
+    try:
+        yield hub
+    finally:
+        set_current(previous)
+        hub.close()
+        print(f"telemetry written to {path}", file=sys.stderr)
 
 
 def _load_program(path: str, use_stdlib: bool):
@@ -121,6 +145,12 @@ def cmd_disasm(args):
 
 
 def cmd_profile(args):
+    with _telemetry_scope(args.telemetry):
+        return _cmd_profile(args)
+
+
+def _cmd_profile(args):
+    import time
     runs = args.runs if args.runs is not None else max(args.jobs, 1)
     if args.jobs > 1 or runs > 1:
         return _profile_parallel(args, runs)
@@ -131,13 +161,34 @@ def cmd_profile(args):
                           phases=set(args.phases) if args.phases
                           else None)
     vm = VM(program, tracer=tracker, max_steps=args.max_steps)
+    start = time.perf_counter()
     vm.run()
+    tracked_wall = time.perf_counter() - start
     print(f"output: {vm.stdout()!r}")
     print(f"instructions: {vm.instr_count}; graph: "
           f"{tracker.graph.num_nodes} nodes / "
           f"{tracker.graph.num_edges} edges; "
           f"CR: {tracker.conflict_ratio():.3f}")
     print()
+    overhead = None
+    if args.self_profile:
+        from .observability import (OverheadReport, current,
+                                    time_untracked)
+        overhead = OverheadReport(
+            untracked_wall=time_untracked(program,
+                                          max_steps=args.max_steps),
+            tracked_wall=tracked_wall,
+            instructions=vm.instr_count,
+            nodes=tracker.graph.num_nodes,
+            edges=tracker.graph.num_edges)
+        hub = current()
+        if hub.enabled:
+            hub.event("overhead", **overhead.as_dict())
+        print(overhead.format())
+        print()
+    if args.telemetry:
+        from .observability import current, emit_tracker_stats
+        emit_tracker_stats(current(), tracker)
     if args.explain is not None:
         from .analyses import explain_site
         print(explain_site(tracker.graph, program, args.explain))
@@ -147,10 +198,12 @@ def cmd_profile(args):
                    branch_outcomes=tracker.branch_outcomes,
                    return_nodes=tracker.return_nodes)
     if args.save_graph:
-        save_graph(tracker.graph, args.save_graph,
-                   meta={"instructions": vm.instr_count,
-                         "slots": args.slots,
-                         "output": vm.stdout()},
+        meta = {"instructions": vm.instr_count,
+                "slots": args.slots,
+                "output": vm.stdout()}
+        if overhead is not None:
+            meta["overhead"] = overhead.as_dict()
+        save_graph(tracker.graph, args.save_graph, meta=meta,
                    tracker=tracker)
         print(f"graph written to {args.save_graph}")
     return 0
@@ -177,6 +230,25 @@ def _profile_parallel(args, runs: int):
           f"{graph.num_nodes} nodes / {graph.num_edges} edges; "
           f"CR: {result.conflict_ratio():.3f}")
     print()
+    overhead = None
+    if args.self_profile:
+        # Parallel analogue: per-shard tracked execution wall (mean
+        # over shards) against one untracked run of the same program.
+        from .observability import OverheadReport, current, time_untracked
+        walls = [meta.get("run_wall_s", meta.get("wall_s", 0.0))
+                 for meta in result.metas]
+        overhead = OverheadReport(
+            untracked_wall=time_untracked(program,
+                                          max_steps=args.max_steps),
+            tracked_wall=sum(walls) / len(walls) if walls else 0.0,
+            instructions=result.instructions // max(runs, 1),
+            nodes=graph.num_nodes, edges=graph.num_edges,
+            repeats=runs)
+        hub = current()
+        if hub.enabled:
+            hub.event("overhead", **overhead.as_dict())
+        print(overhead.format())
+        print()
     if args.explain is not None:
         from .analyses import explain_site
         print(explain_site(graph, program, args.explain))
@@ -186,17 +258,24 @@ def _profile_parallel(args, runs: int):
                    branch_outcomes=result.state.branch_outcomes,
                    return_nodes=result.state.return_nodes)
     if args.save_graph:
-        save_graph(graph, args.save_graph,
-                   meta={"instructions": result.instructions,
-                         "slots": args.slots,
-                         "runs": runs,
-                         "output": result.outputs[0]},
+        meta = {"instructions": result.instructions,
+                "slots": args.slots,
+                "runs": runs,
+                "output": result.outputs[0]}
+        if overhead is not None:
+            meta["overhead"] = overhead.as_dict()
+        save_graph(graph, args.save_graph, meta=meta,
                    tracker=result.state)
         print(f"merged graph written to {args.save_graph}")
     return 0
 
 
 def cmd_analyze(args):
+    with _telemetry_scope(args.telemetry):
+        return _cmd_analyze(args)
+
+
+def _cmd_analyze(args):
     """Offline analysis of a previously saved Gcost."""
     from .analyses import (analyze_cost_benefit, format_bloat_metrics,
                            format_cost_benefit_report, measure_bloat)
@@ -232,6 +311,23 @@ def cmd_analyze(args):
             print(f"  {entry.method:<40} "
                   f"x{entry.returns_observed:<6} "
                   f"cost={entry.relative_cost:.1f}")
+    return 0
+
+
+def cmd_report(args):
+    """Render the Markdown bloat report from a saved v2 profile."""
+    from .observability import render_bloat_report
+    from .profiler import load_profile
+    graph, meta, state = load_profile(args.graph)
+    program = _load_program(args.file, not args.no_stdlib)
+    text = render_bloat_report(graph, meta, state, program,
+                               top=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -320,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=None,
                    help="executions to aggregate across the workers "
                         "(default: one per job)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write run telemetry (JSONL events) to PATH")
+    p.add_argument("--self-profile", action="store_true",
+                   help="also time an untracked run and report the "
+                        "tracker overhead ratio")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("analyze",
@@ -328,7 +429,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="the MiniJ source (for site names)")
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--no-stdlib", action="store_true")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write analysis telemetry (JSONL) to PATH")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("report",
+                       help="render a Markdown bloat report from a "
+                            "saved profile")
+    p.add_argument("graph", help="JSON file from profile --save-graph")
+    p.add_argument("file", help="the MiniJ source (for site names)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per report section (default 10)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the Markdown to PATH instead of stdout")
+    p.add_argument("--no-stdlib", action="store_true")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("workloads", help="list or run suite workloads")
     p.add_argument("name", nargs="?")

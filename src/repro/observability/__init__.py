@@ -1,0 +1,33 @@
+"""Observability layer: run telemetry, self-profiling, bloat reports.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`~repro.observability.telemetry` — the :class:`Telemetry` hub
+  (counters / gauges / timers, span tracing, JSONL sink) threaded
+  through the VM, the cost tracker, the batched slicing engine, and
+  the parallel profiling runtime; zero-cost when disabled;
+* :mod:`~repro.observability.overhead` — self-profiling, reporting
+  tracker overhead as a ratio of untracked execution (the Table-1
+  overhead-column analogue);
+* :mod:`~repro.observability.bloatreport` — the Markdown bloat report
+  behind ``python -m repro report``.
+"""
+
+from .bloatreport import render_bloat_report
+from .overhead import (OverheadReport, measure_overhead,
+                       overhead_from_dict, time_untracked)
+from .telemetry import (DEFAULT_SAMPLE_INTERVAL, NULL, SCHEMA_VERSION,
+                        JsonlSink, MemorySink, NullTelemetry, Telemetry,
+                        current, emit_tracker_stats, opcode_class_counts,
+                        read_jsonl, set_current, slot_collision_counts,
+                        use)
+
+__all__ = [
+    "Telemetry", "NullTelemetry", "NULL", "JsonlSink", "MemorySink",
+    "current", "set_current", "use", "read_jsonl",
+    "SCHEMA_VERSION", "DEFAULT_SAMPLE_INTERVAL",
+    "opcode_class_counts", "slot_collision_counts", "emit_tracker_stats",
+    "OverheadReport", "measure_overhead", "overhead_from_dict",
+    "time_untracked",
+    "render_bloat_report",
+]

@@ -1,0 +1,412 @@
+"""Structured run telemetry: counters, gauges, timers, span tracing.
+
+The paper's tool ran inside a production JVM where per-phase overhead,
+context-register health, and shadow-memory footprint were operational
+concerns (Table 1 reports instrumentation overheads next to the
+analysis results).  This module is the reproduction's analogue: a
+:class:`Telemetry` hub that the VM, the cost tracker, the batched
+slicing engine, and the parallel runtime report into, with a JSONL
+event sink for offline inspection (``docs/OBSERVABILITY.md`` documents
+the schema).
+
+Zero-cost-when-disabled is a hard requirement — profiling overhead is
+the subject being measured, so the measurement must not perturb it:
+
+* the default hub is :data:`NULL` (a :class:`NullTelemetry`), whose
+  every method is a no-op and whose ``enabled`` attribute is False;
+* hot paths guard on that one attribute.  The VM dispatch loop folds
+  its sampling checkpoint into the instruction-budget comparison it
+  already performs, so the disabled-mode loop is *instruction-for-
+  instruction identical* to the un-instrumented interpreter
+  (``tests/test_telemetry.py`` asserts this structurally);
+* per-opcode-class instruction counters are derived from the Gcost
+  node frequencies *after* the run instead of being counted in the
+  dispatch loop.
+
+Events are plain dicts; every event carries ``ev`` (its kind) and
+``t`` (seconds since the hub was created).  Sinks receive events as
+they are emitted; :class:`JsonlSink` writes one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+#: Schema version stamped into the leading ``meta`` event of a stream.
+SCHEMA_VERSION = 1
+
+#: Default instructions-between-samples for the VM growth samples.
+DEFAULT_SAMPLE_INTERVAL = 65_536
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class MemorySink:
+    """Accumulates events in a list (tests, in-process inspection)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event: dict):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a file."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "w")
+
+    def emit(self, event: dict):
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+
+    def close(self):
+        self._handle.close()
+
+
+def read_jsonl(path):
+    """Parse a :class:`JsonlSink` file back into a list of events."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# -- the disabled hub --------------------------------------------------------
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by ``NullTelemetry.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled hub: every operation is a no-op.
+
+    Kept method-compatible with :class:`Telemetry` so cold paths can
+    call it unconditionally; hot paths must still guard on
+    ``enabled`` and skip the call entirely.
+    """
+
+    enabled = False
+
+    def inc(self, name, delta=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def timer_add(self, name, seconds, count=1):
+        pass
+
+    def event(self, kind, **fields):
+        pass
+
+    def span(self, name, **meta):
+        return _NULL_SPAN
+
+    def vm_sample(self, vm, stack, count):  # pragma: no cover - guarded
+        return count + DEFAULT_SAMPLE_INTERVAL
+
+    def vm_finish(self, vm):
+        pass
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+NULL = NullTelemetry()
+
+_current = NULL
+
+
+def current():
+    """The process-wide active hub (:data:`NULL` unless installed)."""
+    return _current
+
+
+def set_current(hub):
+    """Install ``hub`` as the active hub; returns the previous one."""
+    global _current
+    previous = _current
+    _current = hub if hub is not None else NULL
+    return previous
+
+
+@contextmanager
+def use(hub):
+    """Scope ``hub`` as the active hub for a ``with`` block."""
+    previous = set_current(hub)
+    try:
+        yield hub
+    finally:
+        set_current(previous)
+
+
+# -- the live hub ------------------------------------------------------------
+
+
+class Telemetry:
+    """Counter/gauge/timer hub with span tracing and an event sink.
+
+    Parameters
+    ----------
+    sink:
+        Event consumer (:class:`JsonlSink`, :class:`MemorySink`, or
+        anything with ``emit(dict)``/``close()``).  Defaults to an
+        in-memory sink.
+    sample_interval:
+        Instructions between VM growth samples (node/edge counts,
+        shadow-location population, heap allocations).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, sample_interval=DEFAULT_SAMPLE_INTERVAL,
+                 clock=time.perf_counter):
+        self.sink = sink if sink is not None else MemorySink()
+        self.sample_interval = sample_interval
+        self.counters = {}
+        self.gauges = {}
+        #: span/timer name -> [invocations, total seconds]
+        self.timers = {}
+        self._clock = clock
+        self._t0 = clock()
+        self.event("meta", schema=SCHEMA_VERSION,
+                   sample_interval=sample_interval)
+
+    # -- primitives ----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def inc(self, name: str, delta=1):
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value):
+        self.gauges[name] = value
+
+    def timer_add(self, name: str, seconds: float, count: int = 1):
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = [count, seconds]
+        else:
+            timer[0] += count
+            timer[1] += seconds
+
+    def event(self, kind: str, **fields):
+        record = {"ev": kind, "t": round(self._now(), 6)}
+        record.update(fields)
+        self.sink.emit(record)
+
+    @contextmanager
+    def span(self, name: str, **meta):
+        """Phase trace: times the block, emits a ``span`` event."""
+        start = self._now()
+        try:
+            yield self
+        finally:
+            duration = self._now() - start
+            self.timer_add(name, duration)
+            self.event("span", name=name, dur=round(duration, 6), **meta)
+
+    # -- VM integration ------------------------------------------------------
+
+    def vm_sample(self, vm, stack, count: int) -> int:
+        """Growth sample at an instruction checkpoint; returns the next
+        checkpoint.
+
+        Reports executed instructions, heap allocations, live
+        shadow-location population (per-frame shadow maps plus the
+        tracker's static shadow), and — when the tracer builds a
+        dependence graph — Gcost node/edge counts, so node/edge growth
+        and shadow-memory footprint are visible *over time*, not just
+        at exit.
+        """
+        shadow = 0
+        for frame in stack:
+            frame_shadow = getattr(frame, "shadow", None)
+            if frame_shadow:
+                shadow += len(frame_shadow)
+        fields = {"i": count, "heap": vm.heap.total_allocated,
+                  "shadow": shadow, "frames": len(stack)}
+        tracer = vm.tracer
+        if tracer is not None:
+            graph = getattr(tracer, "graph", None)
+            if graph is not None:
+                fields["nodes"] = graph.num_nodes
+                fields["edges"] = graph.num_edges
+            static_shadow = getattr(tracer, "_static_shadow", None)
+            if static_shadow:
+                fields["shadow"] += len(static_shadow)
+        self.event("sample", **fields)
+        return count + self.sample_interval
+
+    def vm_finish(self, vm):
+        """Run summary: totals plus per-opcode-class counters.
+
+        The opcode-class counts are derived from the tracker's Gcost
+        node frequencies (each traced instruction execution bumps its
+        node exactly once), so the dispatch loop never counts opcodes
+        itself.  Control/glue instructions that create no Gcost node
+        (jumps, calls, returns, untracked phases) land in the
+        ``control/untracked`` remainder.
+        """
+        counts = opcode_class_counts(vm)
+        for name, value in counts.items():
+            self.inc(f"vm.instr[{name}]", value)
+        self.event("vm.run", instructions=vm.instr_count,
+                   heap=vm.heap.total_allocated,
+                   phases=dict(vm.phase_counts))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self):
+        """Emit accumulated counters/gauges/timers as summary events."""
+        if self.counters:
+            self.event("counters",
+                       counters=dict(sorted(self.counters.items())))
+        if self.gauges:
+            self.event("gauges", gauges=dict(sorted(self.gauges.items())))
+        if self.timers:
+            self.event("timers",
+                       timers={name: {"n": n, "total": round(total, 6)}
+                               for name, (n, total)
+                               in sorted(self.timers.items())})
+
+    def close(self):
+        self.flush()
+        self.sink.close()
+
+
+# -- derived statistics ------------------------------------------------------
+
+#: opcode value -> human-readable opcode class (report/counter labels).
+OPCODE_CLASSES = {}
+
+
+def _init_opcode_classes():
+    from ..ir import instructions as ins
+    OPCODE_CLASSES.update({
+        ins.OP_CONST: "const",
+        ins.OP_MOVE: "move",
+        ins.OP_BINOP: "binop",
+        ins.OP_UNOP: "unop",
+        ins.OP_INTRINSIC: "intrinsic",
+        ins.OP_BRANCH: "branch",
+        ins.OP_JUMP: "jump",
+        ins.OP_NEW_OBJECT: "alloc",
+        ins.OP_NEW_ARRAY: "alloc",
+        ins.OP_LOAD_FIELD: "heap_read",
+        ins.OP_ARRAY_LOAD: "heap_read",
+        ins.OP_LOAD_STATIC: "heap_read",
+        ins.OP_STORE_FIELD: "heap_write",
+        ins.OP_ARRAY_STORE: "heap_write",
+        ins.OP_STORE_STATIC: "heap_write",
+        ins.OP_ARRAY_LEN: "array_len",
+        ins.OP_CALL: "call",
+        ins.OP_RETURN: "return",
+        ins.OP_CALL_NATIVE: "native",
+    })
+
+
+def opcode_class_counts(vm) -> dict:
+    """Executed-instruction counts per opcode class, derived post-run.
+
+    Sums the Gcost node frequencies per static instruction (every
+    traced execution bumps its ``(iid, d)`` node once; summing over
+    ``d`` recovers the per-instruction count) and buckets them by
+    opcode class.  Instructions the tracker does not materialize as
+    nodes — jumps, calls, returns — plus anything executed while
+    tracking was disabled are reported as ``control/untracked``.
+    Returns an empty dict for untracked runs (no graph to derive
+    from).
+    """
+    tracer = vm.tracer
+    graph = getattr(tracer, "graph", None) if tracer is not None else None
+    if graph is None:
+        return {}
+    if not OPCODE_CLASSES:
+        _init_opcode_classes()
+    class_of = {instr.iid: OPCODE_CLASSES.get(instr.op, "other")
+                for instr in vm.program.instructions}
+    counts = {}
+    traced = 0
+    for node, (iid, _d) in enumerate(graph.node_keys):
+        name = class_of.get(iid, "other")
+        freq = graph.freq[node]
+        counts[name] = counts.get(name, 0) + freq
+        traced += freq
+    remainder = vm.instr_count - traced
+    if remainder > 0:
+        counts["control/untracked"] = remainder
+    return counts
+
+
+def slot_collision_counts(tracker) -> dict:
+    """Context-slot collision counts: slot ``d`` -> extra contexts.
+
+    A collision happens when several distinct encoded contexts of one
+    static instruction hash to the same context slot (the conflation
+    the conflict ratio of §2.3 averages).  For every graph node with a
+    recorded context set, ``len(set) - 1`` contexts beyond the first
+    are conflated into its slot; summing per slot shows which of the
+    ``s`` slots absorb the conflation.
+    """
+    collisions = {}
+    node_keys = tracker.graph.node_keys
+    for node, gs in enumerate(tracker._node_gs):
+        if not gs or len(gs) <= 1:
+            continue
+        slot = node_keys[node][1]
+        collisions[slot] = collisions.get(slot, 0) + len(gs) - 1
+    return collisions
+
+
+def emit_tracker_stats(telemetry, tracker) -> None:
+    """Flush tracker-side health statistics into the hub.
+
+    Emits a ``tracker`` event (graph size, memory estimate, CR,
+    per-slot collision counts) and mirrors the headline numbers as
+    gauges.  Cold path — call once per run, after execution.
+    """
+    if not telemetry.enabled:
+        return
+    graph = tracker.graph
+    cr = tracker.conflict_ratio()
+    collisions = slot_collision_counts(tracker)
+    telemetry.gauge("tracker.nodes", graph.num_nodes)
+    telemetry.gauge("tracker.edges", graph.num_edges)
+    telemetry.gauge("tracker.memory_bytes", graph.memory_bytes())
+    telemetry.gauge("tracker.cr", round(cr, 6))
+    telemetry.event("tracker", slots=tracker.slots,
+                    nodes=graph.num_nodes, edges=graph.num_edges,
+                    ref_edges=len(graph.ref_edges),
+                    memory_bytes=graph.memory_bytes(),
+                    cr=round(cr, 6),
+                    slot_collisions={str(slot): n for slot, n
+                                     in sorted(collisions.items())})

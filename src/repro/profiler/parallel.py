@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 
+from ..observability.telemetry import current as _current_telemetry
 from .graph import DependenceGraph
 from .serialize import (graph_from_dict, graph_to_dict,
                         tracker_state_from_dict)
@@ -269,18 +271,32 @@ def canonical_form(graph, state=None):
 
 
 def _run_job(payload):
-    """Worker body: build, execute, return a serialized profile."""
+    """Worker body: build, execute, return a serialized profile.
+
+    The shard meta records two walls so the merging parent can report
+    per-worker telemetry: ``wall_s`` is the whole job (compile + run +
+    serialize) and ``run_wall_s`` is the tracked execution alone (the
+    number comparable against an untracked baseline for the
+    ``--self-profile`` overhead ratio).  Worker processes do not share
+    the parent's telemetry hub.
+    """
     job, slots, phases, track_cr, track_control = payload
+    start = time.perf_counter()
     program = job.build()
     tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
                           track_control=track_control)
     from ..vm import VM
     vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+    run_start = time.perf_counter()
     vm.run()
+    run_wall = time.perf_counter() - run_start
     return graph_to_dict(tracker.graph,
                          meta={"label": job.label,
                                "instructions": vm.instr_count,
-                               "output": vm.stdout()},
+                               "output": vm.stdout(),
+                               "run_wall_s": round(run_wall, 6),
+                               "wall_s": round(
+                                   time.perf_counter() - start, 6)},
                          tracker=tracker)
 
 
@@ -333,23 +349,40 @@ class ParallelProfiler:
         return multiprocessing.get_context(method)
 
     def profile(self, jobs) -> AggregateProfile:
-        """Run every job, merge the shard profiles in job order."""
+        """Run every job, merge the shard profiles in job order.
+
+        When the process-wide telemetry hub is enabled the map and
+        reduce phases are traced as spans (``parallel.map`` /
+        ``parallel.merge``) and each shard's wall time is emitted as a
+        ``worker`` event — the per-worker wall / merge-time breakdown
+        behind scaling decisions.
+        """
         jobs = list(jobs)
         if not jobs:
             raise ValueError("no profile jobs given")
+        telemetry = _current_telemetry()
         payloads = [(job, self.slots, self.phases, self.track_cr,
                      self.track_control) for job in jobs]
         workers = self.workers
         if workers is None:
             workers = min(len(jobs), os.cpu_count() or 1)
-        if workers <= 1 or len(jobs) == 1:
-            shards = [_run_job(payload) for payload in payloads]
-        else:
-            with self._context().Pool(min(workers, len(jobs))) as pool:
-                shards = pool.map(_run_job, payloads, chunksize=1)
-        graphs = [graph_from_dict(shard) for shard in shards]
-        states = [tracker_state_from_dict(shard) for shard in shards]
-        graph, state = merge_graphs(graphs, states)
+        with telemetry.span("parallel.map", jobs=len(jobs),
+                            workers=workers):
+            if workers <= 1 or len(jobs) == 1:
+                shards = [_run_job(payload) for payload in payloads]
+            else:
+                with self._context().Pool(min(workers, len(jobs))) as pool:
+                    shards = pool.map(_run_job, payloads, chunksize=1)
+        if telemetry.enabled:
+            for shard in shards:
+                meta = shard["meta"]
+                telemetry.event("worker", label=meta.get("label", ""),
+                                wall_s=meta.get("wall_s", 0.0),
+                                instructions=meta.get("instructions", 0))
+        with telemetry.span("parallel.merge", shards=len(shards)):
+            graphs = [graph_from_dict(shard) for shard in shards]
+            states = [tracker_state_from_dict(shard) for shard in shards]
+            graph, state = merge_graphs(graphs, states)
         return AggregateProfile(graph=graph, state=state,
                                 metas=[shard["meta"] for shard in shards])
 

@@ -25,6 +25,7 @@ reproducing §4.1's reduced-overhead mode.
 from __future__ import annotations
 
 from ..ir import instructions as ins
+from ..observability.telemetry import current as _current_telemetry
 from .base import TracerBase
 from .context import average_conflict_ratio, context_slot, extend_context
 from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
@@ -47,11 +48,19 @@ class CostTracker(TracerBase):
     track_cr:
         Record distinct encoded contexts per node for the context
         conflict ratio statistic.  Costs a set insertion per instruction.
+    telemetry:
+        Observability hub (defaults to the process-wide one).  The
+        tracker itself reports only on cold paths — run boundaries and
+        the derived statistics flushed by
+        :func:`repro.observability.emit_tracker_stats` — so tracing
+        hot paths pay nothing for it.
     """
 
     def __init__(self, slots: int = 16, phases=None, track_cr: bool = True,
-                 track_control: bool = False):
+                 track_control: bool = False, telemetry=None):
         super().__init__()
+        self.telemetry = (telemetry if telemetry is not None
+                          else _current_telemetry())
         self.slots = slots
         #: Record nearest-enclosing-predicate control dependences for
         #: the control-inclusive cost ablation (§3.2).
@@ -111,6 +120,11 @@ class CostTracker(TracerBase):
         self._static_shadow = {}
         self._ret_node = None
         self.enabled = self.phases is None or "main" in self.phases
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.event("tracker.begin_run",
+                            nodes=self.graph.num_nodes,
+                            edges=self.graph.num_edges)
 
     # -- helpers --------------------------------------------------------------
 

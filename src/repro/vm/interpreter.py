@@ -36,11 +36,24 @@ idx, v)``                        ArrayStore, after the write
 
 Tracers expose ``enabled``; when False only ``on_phase`` fires, which is
 how phase-restricted tracking (§4.1) is implemented.
+
+Observability
+-------------
+
+The VM also reports into a telemetry hub
+(:mod:`repro.observability.telemetry` — the process-wide hub unless
+one is passed as ``telemetry=``).  When the hub is enabled the loop
+emits periodic growth samples (instructions, heap allocations, shadow
+population, Gcost size) and a run summary with per-opcode-class
+counts; when disabled (the default) the loop does no per-instruction
+telemetry work at all — the sampling checkpoint is folded into the
+instruction-budget comparison.
 """
 
 from __future__ import annotations
 
 from ..ir import instructions as ins
+from ..observability.telemetry import current as _current_telemetry
 from .errors import (VMArithmeticError, VMBoundsError, VMError, VMLimitError,
                      VMNullError)
 from .frames import Frame
@@ -74,12 +87,18 @@ def _string_hash(s: str) -> int:
 class VM:
     """Interpreter for finalized MiniJ programs."""
 
-    def __init__(self, program, tracer=None, max_steps: int = 2_000_000_000):
+    def __init__(self, program, tracer=None, max_steps: int = 2_000_000_000,
+                 telemetry=None):
         if not program.finalized:
             raise VMError("program must be finalized before execution")
         self.program = program
         self.tracer = tracer
         self.max_steps = max_steps
+        # Observability hub (the process-wide one unless given).  The
+        # default is the no-op hub with ``enabled=False``; the dispatch
+        # loop guards on that one attribute, outside the loop.
+        self.telemetry = (telemetry if telemetry is not None
+                          else _current_telemetry())
         self.heap = Heap()
         self._statics = {}        # (owner class, field) -> value
         self.output = []          # program output chunks (Sys.print*)
@@ -129,6 +148,16 @@ class VM:
         # flag is hoisted out of the dispatch loop and refreshed at the
         # one opcode that can change it.
         traced = tracer is not None and tracer.enabled
+        # Telemetry folds its sampling checkpoint into the instruction-
+        # budget comparison the loop already performs: ``limit`` is the
+        # next event of interest (budget exhaustion or growth sample),
+        # so with telemetry disabled the dispatch loop runs the exact
+        # same per-instruction work as the bare interpreter.
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            limit = min(max_steps, count + telemetry.sample_interval)
+        else:
+            limit = max_steps
 
         while stack:
             frame = stack[-1]
@@ -138,11 +167,17 @@ class VM:
             instr = code[pc]
             op = instr.op
             count += 1
-            if count > max_steps:
+            if count > limit:
+                if count > max_steps:
+                    self.instr_count = count
+                    raise VMLimitError(
+                        f"instruction budget of {max_steps} exceeded",
+                        instr, frame)
+                # Telemetry growth sample (only reachable when enabled:
+                # a disabled hub leaves limit == max_steps).
                 self.instr_count = count
-                raise VMLimitError(
-                    f"instruction budget of {max_steps} exceeded",
-                    instr, frame)
+                limit = min(max_steps,
+                            telemetry.vm_sample(self, stack, count))
 
             if op == ins.OP_BINOP:
                 regs[instr.dest] = self._binop(instr, regs, frame)
@@ -335,6 +370,8 @@ class VM:
 
         self.instr_count = count
         self._close_phases()
+        if telemetry.enabled:
+            telemetry.vm_finish(self)
         self.finished = True
         return self
 
@@ -498,8 +535,10 @@ def _as_str(value) -> str:
     return render_value(value)
 
 
-def run_program(program, tracer=None, max_steps: int = 2_000_000_000) -> VM:
+def run_program(program, tracer=None, max_steps: int = 2_000_000_000,
+                telemetry=None) -> VM:
     """Convenience: build a VM, run it, and return it."""
-    vm = VM(program, tracer=tracer, max_steps=max_steps)
+    vm = VM(program, tracer=tracer, max_steps=max_steps,
+            telemetry=telemetry)
     vm.run()
     return vm

@@ -26,6 +26,12 @@ analysis, not the VM.
 profiling runtime can shard a stress campaign deterministically: every
 seed yields the same program *structure* (identical instruction
 layout, hence identical abstract node keys) computing different data.
+
+The same structural determinism makes the pipeline the observability
+layer's bench workload: the disabled-telemetry guard and the
+telemetry-on/off Gcost equivalence tests (``tests/test_telemetry.py``)
+compare runs of one stress program, where any divergence is
+attributable to instrumentation rather than workload noise.
 """
 
 from __future__ import annotations

@@ -144,6 +144,80 @@ def test_max_steps_guard(demo_file, capsys):
     assert "instruction budget" in err
 
 
+def test_profile_telemetry_flag(demo_file, tmp_path, capsys):
+    """--telemetry writes a JSONL event stream alongside the reports."""
+    from repro.observability import NULL, current, read_jsonl
+    events_path = str(tmp_path / "events.jsonl")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--telemetry", events_path]) == 0
+    assert current() is NULL                 # hub restored afterwards
+    events = read_jsonl(events_path)
+    kinds = [e["ev"] for e in events]
+    assert kinds[0] == "meta"
+    assert "vm.run" in kinds
+    assert "tracker" in kinds
+
+
+def test_profile_self_profile_flag(demo_file, capsys):
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--self-profile"]) == 0
+    out = capsys.readouterr().out
+    assert "tracker overhead:" in out
+    assert "untracked" in out
+
+
+def test_report_command(demo_file, tmp_path, capsys):
+    """profile --save-graph --self-profile then report renders the
+    full Markdown bloat report, overhead section included."""
+    graph_path = str(tmp_path / "g.json")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--self-profile",
+                 "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["report", graph_path, demo_file,
+                 "--no-stdlib", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "# Bloat report" in out
+    assert "## Run summary" in out
+    assert "## Top cost-benefit offenders" in out
+    assert "new Entry" in out
+    assert "## Costliest fields (HRAC, Definition 5)" in out
+    assert "## Least-beneficial fields (HRAB, Definition 6)" in out
+    assert "## Tracker overhead" in out
+    assert "context conflict ratio (CR)" in out
+
+
+def test_report_command_out_file(demo_file, tmp_path, capsys):
+    graph_path = str(tmp_path / "g.json")
+    report_path = tmp_path / "report.md"
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["report", graph_path, demo_file, "--no-stdlib",
+                 "--out", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "report written to" in out
+    text = report_path.read_text()
+    assert text.startswith("# Bloat report")
+    # No overhead data was recorded, so the report says how to get it.
+    assert "--self-profile" in text
+
+
+def test_report_parallel_profile(demo_file, tmp_path, capsys):
+    """report also renders merged (multi-run) profiles."""
+    graph_path = str(tmp_path / "merged.json")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--jobs", "2", "--runs", "4",
+                 "--report", "bloat", "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["report", graph_path, demo_file,
+                 "--no-stdlib"]) == 0
+    out = capsys.readouterr().out
+    assert "# Bloat report" in out
+    assert "aggregated runs" in out
+    assert "new Entry" in out
+
+
 class TestCleanErrors:
     """User mistakes produce one-line errors and exit 1, not
     tracebacks."""

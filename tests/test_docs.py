@@ -1,0 +1,26 @@
+"""Docs stay in sync with the CLI (the tier-1 mirror of the CI
+``docs-consistency`` job, which runs ``tools/check_docs.py``)."""
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def test_cli_surface_documented(capsys):
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import check_docs
+    finally:
+        sys.path.remove(str(TOOLS))
+    assert check_docs.main() == 0, capsys.readouterr().err
+
+
+def test_checker_flags_missing_names(monkeypatch):
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import check_docs
+    finally:
+        sys.path.remove(str(TOOLS))
+    monkeypatch.setattr(check_docs, "documented_text", lambda: "")
+    assert check_docs.main() == 1

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Docs-consistency check: the CLI surface must appear in the docs.
+
+Introspects ``repro.cli.build_parser()`` for every subcommand and
+every option string, then requires each to be mentioned somewhere in
+the documentation set (``README.md`` + ``docs/*.md``).  New flags
+that ship without documentation fail CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 when every subcommand/flag is documented, 1 otherwise
+(missing names are listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Documentation files searched for mentions.
+DOC_FILES = ("README.md",) + tuple(
+    str(path.relative_to(REPO)) for path in sorted((REPO / "docs").glob("*.md")))
+
+#: Option strings that need no documentation (argparse built-ins).
+IGNORED_OPTIONS = {"-h", "--help"}
+
+
+def cli_surface():
+    """(subcommands, options): every name build_parser() exposes."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    subcommands = []
+    options = set()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                subcommands.append(name)
+                for sub_action in subparser._actions:
+                    options.update(sub_action.option_strings)
+    return subcommands, sorted(options - IGNORED_OPTIONS)
+
+
+def documented_text():
+    chunks = []
+    for rel in DOC_FILES:
+        path = REPO / rel
+        if path.exists():
+            chunks.append(path.read_text())
+    return "\n".join(chunks)
+
+
+def main() -> int:
+    subcommands, options = cli_surface()
+    text = documented_text()
+    missing = []
+    for name in subcommands:
+        # Subcommands must appear as an invocation, e.g. "repro profile".
+        if not re.search(rf"repro {re.escape(name)}\b", text):
+            missing.append(f"subcommand: {name}")
+    for option in options:
+        if option not in text:
+            missing.append(f"option: {option}")
+    if missing:
+        print("CLI surface missing from the docs "
+              f"({', '.join(DOC_FILES)}):", file=sys.stderr)
+        for entry in missing:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"docs cover {len(subcommands)} subcommands and "
+          f"{len(options)} options")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
