@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-small bench-json bench-json-pr2 \
-	examples table1 casestudies clean
+	bench-json-pr4 examples table1 casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ bench-json-pr2:
 
 # Backwards-compatible alias (the record used to be BENCH_PR1.json).
 bench-json: bench-json-pr2
+
+# Resilience record (BENCH_PR4.json at the repo root): supervisor
+# clean-path overhead vs the plain pool, degraded-run recovery walls,
+# and checkpoint-resume wall (docs/RESILIENCE.md).
+bench-json-pr4:
+	$(PYTHON) benchmarks/bench_resilience_to_json.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

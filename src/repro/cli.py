@@ -8,6 +8,8 @@
     python -m repro profile program.mj --report cost-benefit --top 5
     python -m repro profile program.mj --save-graph gcost.json
     python -m repro profile program.mj --jobs 4 --runs 8   # sharded
+    python -m repro profile program.mj --jobs 4 --runs 8 \\
+        --resume ckpt.json --shard-timeout 30 --max-retries 3
     python -m repro profile program.mj --telemetry run.jsonl
     python -m repro profile program.mj --self-profile
     python -m repro analyze gcost.json program.mj   # offline analysis
@@ -18,6 +20,12 @@
     python -m repro casestudies --small
 
 MiniJ programs get the full standard library unless ``--no-stdlib``.
+
+Exit codes (see ``docs/RESILIENCE.md``): 0 success; 1 runtime failure
+(VM errors, strict-mode shard failure, no shard survived); 2 bad input
+(missing/unparseable files, compile errors, corrupt or truncated
+profiles, unusable checkpoints); 3 degraded run (sharded profiling
+completed but at least one shard was lost — reports still printed).
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ from .vm.errors import VMError
 
 REPORT_CHOICES = ("cost-benefit", "bloat", "dead", "methods",
                   "returns", "writes", "predicates", "caches", "all")
+
+#: Exit-code contract: scripts and CI distinguish *what went wrong*.
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_BAD_INPUT = 2
+EXIT_DEGRADED = 3
 
 
 @contextmanager
@@ -152,7 +166,7 @@ def cmd_profile(args):
 def _cmd_profile(args):
     import time
     runs = args.runs if args.runs is not None else max(args.jobs, 1)
-    if args.jobs > 1 or runs > 1:
+    if args.jobs > 1 or runs > 1 or args.resume:
         return _profile_parallel(args, runs)
     from .profiler import CostTracker, save_graph
     from .vm import VM
@@ -211,20 +225,38 @@ def _cmd_profile(args):
 
 def _profile_parallel(args, runs: int):
     """Sharded profiling: ``runs`` executions over ``--jobs`` workers,
-    merged into one Gcost before reporting."""
-    from .profiler import ParallelProfiler, ProfileJob, save_graph
+    supervised (retries / timeouts / checkpoints; docs/RESILIENCE.md)
+    and merged into one Gcost before reporting."""
+    from .profiler import (ProfileJob, ShardPolicy, SupervisedProfiler,
+                           save_graph)
+    from .testing.faults import FaultPlan
     program = _load_program(args.file, not args.no_stdlib)
     jobs = [ProfileJob.from_file(args.file,
                                  use_stdlib=not args.no_stdlib,
                                  label=f"run{i}",
                                  max_steps=args.max_steps)
             for i in range(runs)]
-    profiler = ParallelProfiler(workers=args.jobs, slots=args.slots,
-                                phases=set(args.phases) if args.phases
-                                else None)
-    result = profiler.profile(jobs)
+    policy = ShardPolicy(timeout_s=args.shard_timeout,
+                         max_retries=args.max_retries,
+                         strict=args.strict)
+    profiler = SupervisedProfiler(workers=args.jobs, slots=args.slots,
+                                  phases=set(args.phases) if args.phases
+                                  else None,
+                                  policy=policy,
+                                  checkpoint=args.resume,
+                                  fault_plan=FaultPlan.from_env())
+    run = profiler.profile(jobs)
+    report = run.report
+    if run.profile is None:
+        print("no shard survived; nothing to report:", file=sys.stderr)
+        print(report.format(), file=sys.stderr)
+        return EXIT_RUNTIME
+    result = run.profile
     graph = result.graph
     print(f"shards: {runs} runs over {args.jobs} worker(s)")
+    resumed = len(report.by_status("resumed"))
+    if resumed or report.retries or report.degraded:
+        print(report.format())
     print(f"output: {result.outputs[0]!r}")
     print(f"instructions: {result.instructions}; merged graph: "
           f"{graph.num_nodes} nodes / {graph.num_edges} edges; "
@@ -264,10 +296,12 @@ def _profile_parallel(args, runs: int):
                 "output": result.outputs[0]}
         if overhead is not None:
             meta["overhead"] = overhead.as_dict()
+        if report.degraded:
+            meta["degraded"] = report.as_dict()
         save_graph(graph, args.save_graph, meta=meta,
                    tracker=result.state)
         print(f"merged graph written to {args.save_graph}")
-    return 0
+    return EXIT_DEGRADED if report.degraded else EXIT_OK
 
 
 def cmd_analyze(args):
@@ -279,8 +313,7 @@ def _cmd_analyze(args):
     """Offline analysis of a previously saved Gcost."""
     from .analyses import (analyze_cost_benefit, format_bloat_metrics,
                            format_cost_benefit_report, measure_bloat)
-    from .profiler import load_profile
-    graph, meta, state = load_profile(args.graph)
+    graph, meta, state = _load_profile_maybe_salvaging(args)
     program = _load_program(args.file, not args.no_stdlib)
     line = (f"loaded graph: {graph.num_nodes} nodes / "
             f"{graph.num_edges} edges")
@@ -314,11 +347,21 @@ def _cmd_analyze(args):
     return 0
 
 
+def _load_profile_maybe_salvaging(args):
+    """``load_profile``, or the best-effort salvage path under
+    ``--salvage`` (truncated/corrupt files recover a subset)."""
+    from .profiler import load_profile, salvage_profile
+    if getattr(args, "salvage", False):
+        graph, meta, state, report = salvage_profile(args.graph)
+        print(f"salvage: {report.format()}", file=sys.stderr)
+        return graph, meta, state
+    return load_profile(args.graph)
+
+
 def cmd_report(args):
     """Render the Markdown bloat report from a saved v2 profile."""
     from .observability import render_bloat_report
-    from .profiler import load_profile
-    graph, meta, state = load_profile(args.graph)
+    graph, meta, state = _load_profile_maybe_salvaging(args)
     program = _load_program(args.file, not args.no_stdlib)
     text = render_bloat_report(graph, meta, state, program,
                                top=args.top)
@@ -421,6 +464,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--self-profile", action="store_true",
                    help="also time an untracked run and report the "
                         "tracker overhead ratio")
+    p.add_argument("--resume", metavar="PATH",
+                   help="checkpoint file for the sharded run: written "
+                        "after every merged shard, and shards already "
+                        "recorded there are skipped on restart")
+    p.add_argument("--strict", action="store_true",
+                   help="fail fast: abort the sharded run on the first "
+                        "shard that exhausts its retry budget "
+                        "(default: degrade and report)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-attempt wall-clock limit for one shard; "
+                        "a hung worker is terminated and retried")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-runs allowed per shard beyond the first "
+                        "attempt (default 2)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("analyze",
@@ -431,6 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-stdlib", action="store_true")
     p.add_argument("--telemetry", metavar="PATH",
                    help="write analysis telemetry (JSONL) to PATH")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort recovery of a truncated or "
+                        "corrupt profile (loads the decodable subset)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("report",
@@ -443,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the Markdown to PATH instead of stdout")
     p.add_argument("--no-stdlib", action="store_true")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort recovery of a truncated or "
+                        "corrupt profile (loads the decodable subset)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("workloads", help="list or run suite workloads")
@@ -464,24 +528,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from .profiler.errors import (CheckpointError, ProfileFormatError,
+                                  ShardFailedError)
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except BrokenPipeError:
         # Output piped into a consumer that closed early (e.g. head).
-        return 0
+        return EXIT_OK
     except FileNotFoundError as error:
         print(f"repro: cannot open {error.filename!r}",
               file=sys.stderr)
-        return 1
+        return EXIT_BAD_INPUT
     except CompileError as error:
         print(f"repro: {error}", file=sys.stderr)
-        return 1
+        return EXIT_BAD_INPUT
+    except (ProfileFormatError, CheckpointError) as error:
+        # Unreadable profile/checkpoint files are bad input, not a
+        # crash; `analyze --salvage` may still recover a subset.
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except ShardFailedError as error:
+        print(f"repro: strict run aborted: {error}", file=sys.stderr)
+        return EXIT_RUNTIME
     except VMError as error:
         where = f" at {error.where}" if error.instr is not None else ""
         print(f"repro: runtime error{where}: {error}", file=sys.stderr)
-        return 1
+        return EXIT_RUNTIME
     except KeyError as error:
         # Registry lookups (workloads, stdlib modules) raise KeyError
         # with a user-facing "unknown ..." message; anything else is a
@@ -489,7 +563,7 @@ def main(argv=None) -> int:
         message = error.args[0] if error.args else ""
         if isinstance(message, str) and message.startswith("unknown"):
             print(f"repro: {message}", file=sys.stderr)
-            return 1
+            return EXIT_BAD_INPUT
         raise
 
 

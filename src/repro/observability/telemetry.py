@@ -30,6 +30,7 @@ they are emitted; :class:`JsonlSink` writes one JSON object per line.
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
 from contextlib import contextmanager
@@ -58,18 +59,41 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends one JSON object per event to a file."""
+    """Appends one JSON object per event to a file.
 
-    def __init__(self, path):
+    Crash-safe by construction: the handle is flushed after every
+    ``flush_every`` events (default: every event, i.e. every batch the
+    hub emits) and registered with ``atexit``, so events written
+    before a worker crash or an un-closed interpreter exit survive as
+    complete, parseable lines rather than dying in the buffer.
+    ``close`` is idempotent, and events emitted after close (e.g. a
+    hub flushed after the atexit pass) are dropped rather than raised.
+    """
+
+    def __init__(self, path, flush_every: int = 1):
         self.path = path
+        self.flush_every = max(1, int(flush_every))
+        self._pending = 0
         self._handle = open(path, "w")
+        atexit.register(self.close)
 
     def emit(self, event: dict):
-        self._handle.write(json.dumps(event, sort_keys=True))
-        self._handle.write("\n")
+        handle = self._handle
+        if handle.closed:
+            return
+        handle.write(json.dumps(event, sort_keys=True))
+        handle.write("\n")
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            handle.flush()
+            self._pending = 0
 
     def close(self):
+        if self._handle.closed:
+            return
+        self._handle.flush()
         self._handle.close()
+        atexit.unregister(self.close)
 
 
 def read_jsonl(path):

@@ -1,10 +1,16 @@
 """Abstract dynamic thin slicing: Gcost construction, the generic
-bounded-domain slicing framework, and the parallel profiling runtime."""
+bounded-domain slicing framework, and the parallel profiling runtime
+(plus its fault-tolerant supervisor — see ``docs/RESILIENCE.md``)."""
 
 from .base import TracerBase
+from .checkpoint import jobs_fingerprint, load_checkpoint, write_checkpoint
 from .context import (average_conflict_ratio, conflict_ratio, context_slot,
                       extend_context)
 from .domains import AbstractThinSlicer
+from .errors import (CheckpointError, ProfileChecksumError,
+                     ProfileFormatError, ProfileInputError,
+                     ProfilerError, ProfileTruncatedError,
+                     ShardFailedError)
 from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     EFFECT_STORE, F_ALLOC, F_CONSUMER, F_HEAP_READ,
                     F_HEAP_WRITE, F_NATIVE, F_PREDICATE, CSRGraph,
@@ -12,10 +18,14 @@ from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
 from .parallel import (AggregateProfile, ParallelProfiler, ProfileJob,
                        canonical_form, merge_graphs,
                        profile_jobs_sequential)
-from .serialize import (graph_from_dict, graph_to_dict, load_graph,
-                        load_graph_with_meta, load_profile, save_graph,
+from .serialize import (SalvageReport, content_checksum, graph_from_dict,
+                        graph_to_dict, load_graph, load_graph_with_meta,
+                        load_profile, salvage_profile, save_graph,
                         tracker_state_from_dict)
 from .state import TrackerState
+from .supervisor import (RunReport, ShardPolicy, ShardResult,
+                         SupervisedProfiler, SupervisedRun, backoff_delay,
+                         validate_shard)
 from .tracker import CostTracker
 
 __all__ = [
@@ -29,6 +39,13 @@ __all__ = [
     "F_PREDICATE",
     "graph_to_dict", "graph_from_dict", "save_graph", "load_graph",
     "load_graph_with_meta", "load_profile", "tracker_state_from_dict",
+    "salvage_profile", "SalvageReport", "content_checksum",
     "ParallelProfiler", "ProfileJob", "AggregateProfile", "merge_graphs",
     "profile_jobs_sequential", "canonical_form",
+    "SupervisedProfiler", "SupervisedRun", "ShardPolicy", "ShardResult",
+    "RunReport", "backoff_delay", "validate_shard",
+    "jobs_fingerprint", "write_checkpoint", "load_checkpoint",
+    "ProfilerError", "ProfileInputError", "ProfileFormatError",
+    "ProfileChecksumError", "ProfileTruncatedError", "CheckpointError",
+    "ShardFailedError",
 ]

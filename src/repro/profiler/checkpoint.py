@@ -1,0 +1,106 @@
+"""Checkpoint-resume for supervised profiling runs.
+
+Because shard profiles are idempotent (a :class:`ProfileJob` rebuilds
+and re-runs deterministically) and the merge is exact, a profiling
+campaign interrupted at shard *k* loses nothing if the first *k* shard
+profiles survive on disk.  The supervisor therefore rewrites one small
+checkpoint document after every successful shard; ``profile --resume
+PATH`` reloads it, skips the shards it already holds, and — because
+shards are merged in job order regardless of which run produced them —
+yields a graph ``canonical_form``-identical to an uninterrupted run.
+
+Document layout (version 1)::
+
+    {"version": 1,
+     "fingerprint": "<sha256 of the job list + profiler config>",
+     "slots": 16, "total": 8,
+     "shards": {"0": <v2 profile dict>, "3": ...},
+     "checksum": "<sha256 of every other key>"}
+
+Writes are atomic (tmp file + ``os.replace``) so a kill mid-write
+leaves the previous checkpoint intact, and the checksum catches the
+torn/corrupt file a dying filesystem can still produce — both cases
+surface as :class:`~repro.profiler.errors.CheckpointError` rather than
+a silently wrong resume.  The fingerprint binds a checkpoint to the
+exact job list and profiler configuration that produced it; resuming
+with different jobs, slots, or tracking flags is refused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .errors import CheckpointError
+from .serialize import content_checksum
+
+CHECKPOINT_VERSION = 1
+
+
+def jobs_fingerprint(jobs, slots: int, phases, track_cr: bool,
+                     track_control: bool) -> str:
+    """Identity of a profiling campaign: jobs + tracker configuration."""
+    import hashlib
+    recipe = {
+        "jobs": [[job.kind, job.spec, job.label, job.max_steps]
+                 for job in jobs],
+        "slots": slots,
+        "phases": sorted(phases) if phases is not None else None,
+        "track_cr": track_cr,
+        "track_control": track_control,
+    }
+    return hashlib.sha256(
+        json.dumps(recipe, sort_keys=True).encode()).hexdigest()
+
+
+def write_checkpoint(path, fingerprint: str, slots: int, total: int,
+                     shards: dict) -> None:
+    """Atomically persist the completed shards (``index -> profile``)."""
+    data = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "slots": slots,
+        "total": total,
+        "shards": {str(index): shard
+                   for index, shard in sorted(shards.items())},
+    }
+    data["checksum"] = content_checksum(data)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(data, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path, fingerprint: str = None) -> dict:
+    """Validate and return the checkpointed shards (``index -> dict``).
+
+    Raises :class:`~repro.profiler.errors.CheckpointError` when the
+    file is unparseable, fails its checksum, carries an unsupported
+    version, or (with ``fingerprint`` given) was written for a
+    different campaign.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {path!r} is truncated or not JSON "
+            f"({error})") from error
+    if not isinstance(data, dict):
+        raise CheckpointError(f"checkpoint {path!r} is not a JSON object")
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {data.get('version')!r} "
+            f"in {path!r}")
+    recorded = data.get("checksum")
+    if recorded is None or content_checksum(data) != recorded:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed checksum validation")
+    if fingerprint is not None and data.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written for a different job "
+            f"list or profiler configuration; refusing to resume")
+    return {int(index): shard
+            for index, shard in data.get("shards", {}).items()}

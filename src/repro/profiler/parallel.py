@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..observability.telemetry import current as _current_telemetry
+from .errors import ProfileInputError
 from .graph import DependenceGraph
 from .serialize import (graph_from_dict, graph_to_dict,
                         tracker_state_from_dict)
@@ -139,20 +140,33 @@ def merge_graphs(graphs, states=None):
     index) the per-node context sets, branch outcome counters and
     return-node sets are merged under the same node remapping, and the
     call returns ``(graph, state)``; otherwise it returns the graph.
+
+    Input contract (violations raise
+    :class:`~repro.profiler.errors.ProfileInputError`, a
+    ``ValueError`` subclass): ``graphs`` must be non-empty — the merge
+    of zero shards has no context-domain size, so there is no sensible
+    identity element; every graph must share one ``slots`` value; and
+    ``states``, when given, must hold exactly one entry per graph,
+    aligned by index (a ``None`` entry is not accepted — serialize the
+    state with the graph or merge graphs only).
     """
     graphs = list(graphs)
     if not graphs:
-        raise ValueError("merge_graphs needs at least one graph")
+        raise ProfileInputError(
+            "merge_graphs needs at least one graph (the empty merge "
+            "has no context-domain size)")
     slots = graphs[0].slots
     for other in graphs[1:]:
         if other.slots != slots:
-            raise ValueError(
+            raise ProfileInputError(
                 f"cannot merge graphs with different context domains "
                 f"(slots {slots} vs {other.slots})")
     if states is not None:
         states = list(states)
         if len(states) != len(graphs):
-            raise ValueError("need exactly one state per graph")
+            raise ProfileInputError(
+                f"need exactly one state per graph "
+                f"(got {len(states)} states for {len(graphs)} graphs)")
     merged = DependenceGraph(slots=slots)
     ids = merged._ids
     node_keys = merged.node_keys
@@ -359,7 +373,9 @@ class ParallelProfiler:
         """
         jobs = list(jobs)
         if not jobs:
-            raise ValueError("no profile jobs given")
+            raise ProfileInputError(
+                "no profile jobs given: profile() requires at least "
+                "one ProfileJob")
         telemetry = _current_telemetry()
         payloads = [(job, self.slots, self.phases, self.track_cr,
                      self.track_control) for job in jobs]
@@ -396,10 +412,16 @@ def profile_jobs_sequential(jobs, slots: int = 16, phases=None,
     :class:`CostTracker` (per-execution shadows reset between runs),
     i.e. the "sequential run over the concatenated shards" that
     :func:`merge_graphs` must reproduce exactly.
+
+    An empty job list raises
+    :class:`~repro.profiler.errors.ProfileInputError` (same contract
+    as the parallel entry points: there is no empty profile).
     """
     jobs = list(jobs)
     if not jobs:
-        raise ValueError("no profile jobs given")
+        raise ProfileInputError(
+            "no profile jobs given: profile_jobs_sequential() "
+            "requires at least one ProfileJob")
     tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
                           track_control=track_control)
     from ..vm import VM

@@ -13,12 +13,28 @@ return-value node sets.  With them on disk the CR statistic and the
 predicate / return-cost clients run fully offline, and the parallel
 runtime's workers can ship complete profiles back to the merging
 parent.  v1 documents (graph only) are still readable.
+
+Integrity
+---------
+
+Profiles written by :func:`save_graph` carry a ``checksum`` key — the
+SHA-256 of the canonical JSON of every *other* key — which the loaders
+verify when present (:class:`~repro.profiler.errors.ProfileChecksumError`
+on mismatch).  A file that does not parse at all raises
+:class:`~repro.profiler.errors.ProfileTruncatedError`; for the common
+truncation case (a writer killed mid-``json.dump``)
+:func:`salvage_profile` recovers the longest decodable prefix —
+section order in the document (nodes before edges before tracker
+state) was chosen so truncation costs the *derived* sections first.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
+from .errors import (ProfileChecksumError, ProfileFormatError,
+                     ProfileTruncatedError)
 from .graph import DependenceGraph
 from .state import TrackerState
 
@@ -80,7 +96,9 @@ def graph_from_dict(data: dict) -> DependenceGraph:
     """Rebuild a graph from :func:`graph_to_dict` output (v1 or v2)."""
     version = data.get("version")
     if version not in READABLE_VERSIONS:
-        raise ValueError(f"unsupported graph format version {version!r}")
+        raise ProfileFormatError(
+            f"unsupported graph format version {version!r} "
+            f"(readable: {READABLE_VERSIONS})")
     graph = DependenceGraph(slots=data.get("slots", 16))
     for (iid, d), freq, flags in zip(data["nodes"], data["freq"],
                                      data["flags"]):
@@ -121,33 +139,307 @@ def tracker_state_from_dict(data: dict):
                       in section.get("return_nodes", [])})
 
 
+# -- integrity ---------------------------------------------------------------
+
+
+def content_checksum(data: dict) -> str:
+    """SHA-256 over the canonical JSON of every non-``checksum`` key."""
+    payload = {key: value for key, value in data.items()
+               if key != "checksum"}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def _parse_profile(path) -> dict:
+    """Read + JSON-parse a profile file with typed failures."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProfileTruncatedError(
+            f"profile {path!r} is truncated or not JSON "
+            f"({error})") from error
+    if not isinstance(data, dict):
+        raise ProfileFormatError(
+            f"profile {path!r} is not a JSON object")
+    return data
+
+
+def _verify_checksum(data: dict, path) -> None:
+    recorded = data.get("checksum")
+    if recorded is None:
+        return  # pre-checksum file (or worker shard dict): nothing to check
+    actual = content_checksum(data)
+    if actual != recorded:
+        raise ProfileChecksumError(
+            f"profile {path!r} failed checksum validation "
+            f"(recorded {recorded[:12]}…, computed {actual[:12]}…)")
+
+
 def save_graph(graph: DependenceGraph, path, meta=None,
                tracker=None) -> None:
-    """Write the graph (plus optional metadata / tracker state)."""
+    """Write the graph (plus optional metadata / tracker state).
+
+    The document gains a ``checksum`` key so loaders can detect silent
+    corruption; pre-checksum files remain readable.
+    """
+    data = graph_to_dict(graph, meta, tracker)
+    data["checksum"] = content_checksum(data)
     with open(path, "w") as handle:
-        json.dump(graph_to_dict(graph, meta, tracker), handle)
+        json.dump(data, handle)
 
 
 def load_profile(path):
     """Read ``(graph, meta, state)`` from a :func:`save_graph` file.
 
     ``state`` is ``None`` for graph-only documents (v1, or v2 saved
-    without a tracker).
+    without a tracker).  Raises
+    :class:`~repro.profiler.errors.ProfileTruncatedError` for
+    unparseable files,
+    :class:`~repro.profiler.errors.ProfileChecksumError` when the
+    stored checksum does not match, and
+    :class:`~repro.profiler.errors.ProfileFormatError` for unsupported
+    versions.
     """
-    with open(path) as handle:
-        data = json.load(handle)
+    data = _parse_profile(path)
+    _verify_checksum(data, path)
     return (graph_from_dict(data), data.get("meta", {}),
             tracker_state_from_dict(data))
 
 
 def load_graph_with_meta(path):
     """Read (graph, meta) from a file written by :func:`save_graph`."""
-    with open(path) as handle:
-        data = json.load(handle)
+    data = _parse_profile(path)
+    _verify_checksum(data, path)
     return graph_from_dict(data), data.get("meta", {})
 
 
 def load_graph(path) -> DependenceGraph:
     """Read a graph previously written by :func:`save_graph`."""
+    data = _parse_profile(path)
+    _verify_checksum(data, path)
+    return graph_from_dict(data)
+
+
+# -- best-effort salvage -----------------------------------------------------
+
+
+class SalvageReport:
+    """What :func:`salvage_profile` recovered and what it gave up.
+
+    ``repaired`` is True when the JSON itself needed truncation repair
+    (as opposed to a parseable document with internal damage);
+    ``missing`` lists sections absent from the recovered document;
+    ``dropped`` counts entries discarded per section because they were
+    malformed or referenced unrecovered nodes.
+    """
+
+    def __init__(self):
+        self.repaired = False
+        self.missing = []
+        self.dropped = {}
+        self.nodes = 0
+        self.checksum_verified = False
+
+    def drop(self, section: str, count: int = 1):
+        if count:
+            self.dropped[section] = self.dropped.get(section, 0) + count
+
+    @property
+    def clean(self) -> bool:
+        return (not self.repaired and not self.missing
+                and not self.dropped)
+
+    def format(self) -> str:
+        if self.clean:
+            return f"intact ({self.nodes} nodes)"
+        parts = [f"{self.nodes} nodes recovered"]
+        if self.missing:
+            parts.append(f"missing: {', '.join(self.missing)}")
+        if self.dropped:
+            parts.append("dropped: " + ", ".join(
+                f"{section}={count}"
+                for section, count in sorted(self.dropped.items())))
+        return "; ".join(parts)
+
+
+#: Document sections behind the graph itself, in write order.
+_SECTIONS = ("nodes", "freq", "flags", "edges", "effects", "ref_edges",
+             "points_to", "control_deps", "tracker")
+
+#: Candidate truncation-repair cut points tried, newest first.
+_MAX_REPAIR_TRIES = 4096
+
+
+def _repair_truncated_json(text: str):
+    """Parse the longest decodable prefix of a truncated JSON object.
+
+    One forward scan records every position where a value just ended
+    (a ``,``/``]``/``}`` outside any string) together with the open
+    bracket stack there; candidates are then tried newest-first by
+    cutting the text and appending the closers.  Returns the parsed
+    dict or ``None``.
+    """
+    candidates = []
+    stack = []
+    in_string = False
+    escaped = False
+    for index, char in enumerate(text):
+        if in_string:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+        elif char in "[{":
+            stack.append("]" if char == "[" else "}")
+        elif char in "]}":
+            if not stack or stack[-1] != char:
+                break  # structurally corrupt past here; stop scanning
+            stack.pop()
+            candidates.append((index + 1, "".join(reversed(stack))))
+        elif char == ",":
+            candidates.append((index, "".join(reversed(stack))))
+    for cut, closers in reversed(candidates[-_MAX_REPAIR_TRIES:]):
+        try:
+            data = json.loads(text[:cut] + closers)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(data, dict):
+            return data
+    return None
+
+
+def _intlist(row, length):
+    return (isinstance(row, list) and len(row) == length
+            and all(isinstance(value, int) for value in row))
+
+
+def _sanitize_partial(data: dict, report: SalvageReport) -> dict:
+    """Trim a recovered document to its internally consistent core."""
+    for section in _SECTIONS:
+        if section not in data:
+            report.missing.append(section)
+    nodes = [row for row in data.get("nodes", []) if _intlist(row, 2)]
+    report.drop("nodes", len(data.get("nodes", [])) - len(nodes))
+    freq = [value for value in data.get("freq", [])
+            if isinstance(value, int)]
+    flags = [value for value in data.get("flags", [])
+             if isinstance(value, int)]
+    count = min(len(nodes), len(freq) if "freq" in data else len(nodes),
+                len(flags) if "flags" in data else len(nodes))
+    report.nodes = count
+    clean = {
+        "version": data.get("version", FORMAT_VERSION),
+        "meta": data.get("meta") if isinstance(data.get("meta"), dict)
+        else {},
+        "slots": data.get("slots", 16),
+        "nodes": nodes[:count],
+        # Arrays lost to truncation are reconstructed neutrally: every
+        # recovered node executed at least once, with no flags.
+        "freq": (freq[:count] if "freq" in data else [1] * count),
+        "flags": (flags[:count] if "flags" in data else [0] * count),
+    }
+    if "freq" in data and len(freq) < len(nodes):
+        report.drop("nodes", len(nodes) - count)
+
+    def keep(section, predicate):
+        rows = data.get(section, [])
+        kept = [row for row in rows if predicate(row)]
+        report.drop(section, len(rows) - len(kept))
+        return kept
+
+    in_range = lambda n: isinstance(n, int) and 0 <= n < count  # noqa: E731
+    clean["edges"] = keep(
+        "edges", lambda row: _intlist(row, 2) and in_range(row[0])
+        and in_range(row[1]))
+    clean["effects"] = keep(
+        "effects", lambda row: isinstance(row, list) and len(row) == 4
+        and in_range(row[0])
+        and (row[2] is None or _intlist(row[2], 2)))
+    clean["ref_edges"] = keep(
+        "ref_edges", lambda row: _intlist(row, 2) and in_range(row[0])
+        and in_range(row[1]))
+    clean["points_to"] = keep(
+        "points_to", lambda row: isinstance(row, list) and len(row) == 3
+        and _intlist(row[0], 2) and isinstance(row[2], list)
+        and all(_intlist(t, 2) for t in row[2]))
+    control = []
+    for row in data.get("control_deps", []):
+        if (isinstance(row, list) and len(row) == 2 and in_range(row[0])
+                and isinstance(row[1], list)):
+            preds = [p for p in row[1] if in_range(p)]
+            report.drop("control_deps", len(row[1]) - len(preds))
+            control.append([row[0], preds])
+        else:
+            report.drop("control_deps")
+    clean["control_deps"] = control
+
+    tracker = data.get("tracker")
+    if isinstance(tracker, dict):
+        node_gs = [gs if gs is None or (isinstance(gs, list)
+                                        and all(isinstance(g, int)
+                                                for g in gs))
+                   else None
+                   for gs in tracker.get("node_gs", [])[:count]]
+        outcomes = [row for row in tracker.get("branch_outcomes", [])
+                    if _intlist(row, 3)]
+        report.drop("tracker",
+                    len(tracker.get("branch_outcomes", [])) - len(outcomes))
+        returns = []
+        for row in tracker.get("return_nodes", []):
+            if (isinstance(row, list) and len(row) == 2
+                    and isinstance(row[1], list)):
+                returns.append([row[0],
+                                [n for n in row[1] if in_range(n)]])
+            else:
+                report.drop("tracker")
+        clean["tracker"] = {"node_gs": node_gs,
+                            "branch_outcomes": outcomes,
+                            "return_nodes": returns}
+    return clean
+
+
+def salvage_profile(path):
+    """Best-effort recovery: ``(graph, meta, state, report)``.
+
+    Intact files load exactly as :func:`load_profile` does (with the
+    checksum verified); truncated or internally damaged files are
+    repaired to their longest decodable prefix and trimmed to a
+    consistent subset — the checksum is *not* enforced on that path
+    (it cannot match a partial document), which the
+    :class:`SalvageReport` records.  Raises
+    :class:`~repro.profiler.errors.ProfileTruncatedError` only when
+    not even the version/node prefix survives.
+    """
+    report = SalvageReport()
+    try:
+        graph, meta, state = load_profile(path)
+        report.nodes = graph.num_nodes
+        report.checksum_verified = True
+        return graph, meta, state, report
+    except (ProfileFormatError, KeyError, IndexError, TypeError):
+        # Typed load failures, but also the raw structural errors a
+        # parseable-yet-damaged document (dangling node references,
+        # malformed rows) triggers inside graph_from_dict.
+        pass
     with open(path) as handle:
-        return graph_from_dict(json.load(handle))
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = _repair_truncated_json(text)
+        report.repaired = True
+    if not isinstance(data, dict) or not isinstance(
+            data.get("nodes"), list):
+        raise ProfileTruncatedError(
+            f"profile {path!r} is beyond salvage "
+            f"(no decodable node section)")
+    clean = _sanitize_partial(data, report)
+    return (graph_from_dict(clean), clean["meta"],
+            tracker_state_from_dict(clean), report)

@@ -1,0 +1,557 @@
+"""Fault-tolerant shard supervision for the parallel profiling runtime.
+
+The plain :class:`~repro.profiler.parallel.ParallelProfiler` is a
+fair-weather fan-out: one crashed, hung, or budget-blown worker takes
+the whole ``pool.map`` down and every finished shard with it.  The
+paper's tool could not afford that inside a production JVM, and the
+bounded abstract domain makes the fix cheap here: shard profiles are
+*idempotent* (a :class:`ProfileJob` re-runs deterministically) and the
+merge is *exact*, so any shard can simply be run again — supervision
+reduces to bookkeeping.
+
+:class:`SupervisedProfiler` runs each shard attempt in its own child
+process with a result pipe, which buys:
+
+* **crash detection** — a worker that dies (nonzero exitcode, closed
+  pipe: the raw-``Process`` analogue of ``BrokenProcessPool``) fails
+  only its own shard;
+* **timeouts** — a hung worker is terminated when its per-shard
+  deadline (:attr:`ShardPolicy.timeout_s`) passes;
+* **bounded retries** — failed attempts are re-queued with exponential
+  backoff plus deterministic jitter (:func:`backoff_delay`);
+* **degraded-mode completion** — shards that exhaust their retry
+  budget are recorded in a structured :class:`RunReport` and the
+  surviving shards still merge (``strict=True`` restores today's
+  fail-fast behavior by raising
+  :class:`~repro.profiler.errors.ShardFailedError`);
+* **VM fault containment** — a shard whose program dies with
+  :class:`~repro.vm.errors.VMError` / ``VMLimitError`` ships its
+  partial graph back (flagged ``partial`` in the shard meta) instead
+  of poisoning the run;
+* **checkpoint-resume** — with a checkpoint path configured, every
+  completed shard is persisted atomically
+  (:mod:`repro.profiler.checkpoint`) and a later run skips it.
+
+Every retry/degradation decision is emitted through the telemetry hub
+(``supervisor.*`` / ``checkpoint.*`` events; see
+``docs/OBSERVABILITY.md``), and the deterministic fault-injection
+harness (:mod:`repro.testing.faults`) drives the failure paths in
+tests and CI.  ``docs/RESILIENCE.md`` is the operator-facing guide.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mpconn
+
+from ..observability.telemetry import current as _current_telemetry
+from ..vm.errors import VMError
+from .checkpoint import jobs_fingerprint, load_checkpoint, write_checkpoint
+from .errors import ProfileInputError, ShardFailedError
+from .parallel import AggregateProfile, merge_graphs
+from .serialize import graph_from_dict, graph_to_dict, tracker_state_from_dict
+from .tracker import CostTracker
+
+#: Longest single sleep of the supervision loop (keeps deadline checks
+#: and backoff wake-ups responsive even when no pipe becomes ready).
+_POLL_S = 0.25
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Retry / timeout / degradation policy for one supervised run.
+
+    ``timeout_s`` is per *attempt* (``None`` disables timeouts);
+    ``max_retries`` bounds re-runs beyond the first attempt, so a
+    shard runs at most ``1 + max_retries`` times.  Backoff before
+    retry *n* (0-based) is ``base * factor**n`` capped at ``max``,
+    stretched by a deterministic jitter in ``[0, jitter]`` drawn from
+    ``(seed, shard, attempt)`` — reproducible, but de-synchronized
+    across shards.  ``strict=True`` restores fail-fast: the first
+    shard to exhaust its budget aborts the run.
+    """
+
+    timeout_s: float = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.1
+    strict: bool = False
+    seed: int = 0
+
+
+def backoff_delay(policy: ShardPolicy, shard: int, attempt: int) -> float:
+    """Deterministic backoff before re-running ``shard`` (attempt is
+    the 0-based attempt that just failed)."""
+    base = min(policy.backoff_base_s * (policy.backoff_factor ** attempt),
+               policy.backoff_max_s)
+    rng = random.Random(f"{policy.seed}:{shard}:{attempt}")
+    return base * (1.0 + policy.jitter * rng.random())
+
+
+@dataclass
+class ShardResult:
+    """Supervision outcome of one shard (one row of the RunReport)."""
+
+    index: int
+    label: str
+    #: "ok" | "salvaged" (partial VM run) | "resumed" (from checkpoint)
+    #: | "failed" (budget exhausted) | "skipped" (strict abort before
+    #: the shard ever completed)
+    status: str
+    attempts: int = 0
+    #: Failure classification of the *last* failed attempt:
+    #: "crash" | "timeout" | "error" | "corrupt" (empty when clean).
+    error_kind: str = ""
+    error: str = ""
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"index": self.index, "label": self.label,
+                "status": self.status, "attempts": self.attempts,
+                "error_kind": self.error_kind, "error": self.error,
+                "wall_s": round(self.wall_s, 6)}
+
+
+@dataclass
+class RunReport:
+    """Structured account of a supervised run, shard by shard."""
+
+    shards: list = field(default_factory=list)
+    retries: int = 0
+
+    def by_status(self, *statuses):
+        return [shard for shard in self.shards
+                if shard.status in statuses]
+
+    @property
+    def failed(self):
+        return self.by_status("failed", "skipped")
+
+    @property
+    def degraded(self) -> bool:
+        """True when the merge is missing at least one shard."""
+        return bool(self.failed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def as_dict(self) -> dict:
+        return {"retries": self.retries, "degraded": self.degraded,
+                "shards": [shard.as_dict() for shard in self.shards]}
+
+    def format(self) -> str:
+        counts = {}
+        for shard in self.shards:
+            counts[shard.status] = counts.get(shard.status, 0) + 1
+        summary = ", ".join(f"{count} {status}" for status, count
+                            in sorted(counts.items()))
+        lines = [f"supervised run: {len(self.shards)} shard(s) — "
+                 f"{summary} ({self.retries} retr"
+                 f"{'y' if self.retries == 1 else 'ies'})"]
+        for shard in self.shards:
+            if shard.status in ("failed", "skipped", "salvaged"):
+                detail = (f"{shard.error_kind}: {shard.error}"
+                          if shard.error else shard.error_kind)
+                lines.append(f"  shard {shard.index} [{shard.label}]: "
+                             f"{shard.status} after {shard.attempts} "
+                             f"attempt(s) ({detail})")
+        return "\n".join(lines)
+
+
+@dataclass
+class SupervisedRun:
+    """What :meth:`SupervisedProfiler.profile` returns.
+
+    ``profile`` is the merged :class:`AggregateProfile` of every shard
+    that produced a graph, or ``None`` when no shard survived (the
+    report then explains why).
+    """
+
+    profile: AggregateProfile
+    report: RunReport
+
+    @property
+    def degraded(self) -> bool:
+        return self.report.degraded
+
+
+# -- worker body -------------------------------------------------------------
+
+
+def _run_job_salvaging(job, slots, phases, track_cr, track_control) -> dict:
+    """Build + run one shard, salvaging VM faults into a partial profile.
+
+    The VM's containment contract (``instr_count`` and phase windows
+    stay coherent when a :class:`VMError` escapes) means the tracker's
+    graph-so-far is a valid — merely incomplete — profile; it ships
+    back flagged ``partial`` with the error recorded, so one
+    budget-blown shard degrades the run instead of failing it.
+    """
+    start = time.perf_counter()
+    program = job.build()
+    tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
+                          track_control=track_control)
+    from ..vm import VM
+    vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+    meta = {"label": job.label}
+    run_start = time.perf_counter()
+    try:
+        vm.run()
+    except VMError as error:
+        meta["partial"] = True
+        meta["error"] = str(error)
+        meta["error_type"] = type(error).__name__
+    meta.update(instructions=vm.instr_count, output=vm.stdout(),
+                run_wall_s=round(time.perf_counter() - run_start, 6),
+                wall_s=round(time.perf_counter() - start, 6))
+    return graph_to_dict(tracker.graph, meta=meta, tracker=tracker)
+
+
+def _shard_worker(payload, fault, conn):
+    """Child-process entry: run the shard, send ("ok"|"error", data)."""
+    job, slots, phases, track_cr, track_control = payload
+    try:
+        if fault is not None:
+            from ..testing.faults import VMLIMIT_BUDGET, apply_fault
+            apply_fault(fault)  # crash / hang / slow / error kinds
+            if fault.kind == "vmlimit":
+                from dataclasses import replace
+                job = replace(job,
+                              max_steps=min(job.max_steps, VMLIMIT_BUDGET))
+        shard = _run_job_salvaging(job, slots, phases, track_cr,
+                                   track_control)
+        if fault is not None and fault.kind == "corrupt":
+            from ..testing.faults import corrupt_shard
+            corrupt_shard(shard)
+        conn.send(("ok", shard))
+    except BaseException as error:  # ship *any* failure to the parent
+        try:
+            conn.send(("error", {"type": type(error).__name__,
+                                 "message": str(error)}))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def validate_shard(shard) -> str:
+    """Structural sanity check on a worker-shipped profile dict.
+
+    Returns an error description, or ``None`` when the shard is
+    coherent enough to merge.  This is the parent-side defense against
+    corrupt worker output (and the hook the ``corrupt`` fault kind
+    exercises).
+    """
+    if not isinstance(shard, dict):
+        return f"shard payload is {type(shard).__name__}, not dict"
+    for key in ("version", "meta", "slots", "nodes", "freq", "flags",
+                "edges"):
+        if key not in shard:
+            return f"shard is missing {key!r}"
+    if not (len(shard["nodes"]) == len(shard["freq"])
+            == len(shard["flags"])):
+        return (f"shard node arrays misaligned "
+                f"({len(shard['nodes'])} nodes / "
+                f"{len(shard['freq'])} freq / "
+                f"{len(shard['flags'])} flags)")
+    return None
+
+
+# -- the supervisor ----------------------------------------------------------
+
+
+class _Attempt:
+    """One scheduled (or running) attempt of one shard."""
+
+    __slots__ = ("index", "job", "attempt", "ready_at", "proc", "conn",
+                 "deadline", "started")
+
+    def __init__(self, index, job, attempt=0, ready_at=0.0):
+        self.index = index
+        self.job = job
+        self.attempt = attempt
+        self.ready_at = ready_at
+        self.proc = None
+        self.conn = None
+        self.deadline = None
+        self.started = 0.0
+
+
+class SupervisedProfiler:
+    """Shard supervisor: the fault-tolerant face of the parallel runtime.
+
+    Same profiling parameters as
+    :class:`~repro.profiler.parallel.ParallelProfiler`, plus a
+    :class:`ShardPolicy`, an optional checkpoint path, and an optional
+    :class:`~repro.testing.faults.FaultPlan` (tests/CI only).  On the
+    clean path the merged profile is identical — including node
+    numbering — to ``ParallelProfiler``'s and to the sequential
+    oracle's; supervision only adds per-shard processes and
+    bookkeeping (``make bench-json-pr4`` tracks that overhead).
+    """
+
+    def __init__(self, workers: int = None, slots: int = 16,
+                 phases=None, track_cr: bool = True,
+                 track_control: bool = False, start_method: str = None,
+                 policy: ShardPolicy = None, checkpoint=None,
+                 fault_plan=None):
+        self.workers = workers
+        self.slots = slots
+        self.phases = frozenset(phases) if phases is not None else None
+        self.track_cr = track_cr
+        self.track_control = track_control
+        self.start_method = start_method
+        self.policy = policy if policy is not None else ShardPolicy()
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
+
+    def _context(self):
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else available[0]
+        return multiprocessing.get_context(method)
+
+    # -- lifecycle of one run ------------------------------------------------
+
+    def profile(self, jobs) -> SupervisedRun:
+        """Run every job under supervision; merge whatever survives.
+
+        Raises :class:`~repro.profiler.errors.ProfileInputError` for
+        an empty job list, and — in strict mode only —
+        :class:`~repro.profiler.errors.ShardFailedError` when a shard
+        exhausts its retry budget.  Otherwise always returns a
+        :class:`SupervisedRun`, degraded or not.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ProfileInputError(
+                "no profile jobs given: profile() requires at least "
+                "one ProfileJob")
+        telemetry = _current_telemetry()
+        policy = self.policy
+        results = {index: ShardResult(index, job.label, "skipped")
+                   for index, job in enumerate(jobs)}
+        done = {}
+        fingerprint = None
+        if self.checkpoint:
+            fingerprint = jobs_fingerprint(jobs, self.slots, self.phases,
+                                           self.track_cr,
+                                           self.track_control)
+            if os.path.exists(self.checkpoint):
+                done = load_checkpoint(self.checkpoint, fingerprint)
+                done = {index: shard for index, shard in done.items()
+                        if index < len(jobs)}
+                for index, shard in done.items():
+                    results[index] = ShardResult(
+                        index, jobs[index].label, "resumed",
+                        attempts=0)
+                telemetry.event("checkpoint.resume",
+                                path=str(self.checkpoint),
+                                shards=len(done))
+        report = RunReport()
+        workers = self.workers
+        if workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        workers = max(1, workers)
+        pending = [_Attempt(index, job)
+                   for index, job in enumerate(jobs) if index not in done]
+        running = []
+        ctx = self._context()
+        abort_after = (self.fault_plan.abort_after
+                       if self.fault_plan is not None else None)
+        completed_this_run = 0
+        try:
+            with telemetry.span("supervisor.map", jobs=len(jobs),
+                                workers=workers,
+                                resumed=len(done)):
+                while pending or running:
+                    now = time.monotonic()
+                    self._launch_ready(ctx, pending, running, workers, now)
+                    if not running:
+                        # Everything schedulable is backing off.
+                        time.sleep(max(0.0, min(
+                            task.ready_at for task in pending) - now))
+                        continue
+                    ready = _mpconn.wait(
+                        [task.conn for task in running],
+                        timeout=self._wait_timeout(pending, running,
+                                                   workers))
+                    now = time.monotonic()
+                    for task in [t for t in running
+                                 if t.conn in ready]:
+                        running.remove(task)
+                        self._finish(task, pending, results, done,
+                                     report, policy, telemetry, now)
+                    for task in [t for t in running
+                                 if t.deadline is not None
+                                 and now > t.deadline]:
+                        running.remove(task)
+                        self._kill(task)
+                        self._failure(task, "timeout",
+                                      f"no result within "
+                                      f"{policy.timeout_s}s", pending,
+                                      results, report, policy, telemetry)
+                    if self.checkpoint and done:
+                        newly = sum(
+                            1 for index in done
+                            if results[index].status != "resumed")
+                        if newly > completed_this_run:
+                            completed_this_run = newly
+                            write_checkpoint(self.checkpoint, fingerprint,
+                                             self.slots, len(jobs), done)
+                            telemetry.event("checkpoint.write",
+                                            path=str(self.checkpoint),
+                                            shards=len(done))
+                            if (abort_after is not None
+                                    and completed_this_run >= abort_after):
+                                from ..testing.faults import SimulatedKill
+                                raise SimulatedKill(
+                                    f"fault plan aborted the run after "
+                                    f"{completed_this_run} checkpointed "
+                                    f"shard(s)")
+        finally:
+            for task in running:
+                self._kill(task)
+        return self._merge(jobs, done, results, report, telemetry)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _launch_ready(self, ctx, pending, running, workers, now):
+        for task in [t for t in pending if t.ready_at <= now]:
+            if len(running) >= workers:
+                break
+            pending.remove(task)
+            fault = (self.fault_plan.get(task.index, task.attempt)
+                     if self.fault_plan is not None else None)
+            payload = (task.job, self.slots, self.phases, self.track_cr,
+                       self.track_control)
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_shard_worker,
+                               args=(payload, fault, send_conn),
+                               daemon=True)
+            proc.start()
+            send_conn.close()  # parent's copy; EOF now tracks the child
+            task.proc = proc
+            task.conn = recv_conn
+            task.started = time.monotonic()
+            task.deadline = (task.started + self.policy.timeout_s
+                             if self.policy.timeout_s else None)
+            running.append(task)
+
+    def _wait_timeout(self, pending, running, workers):
+        deadlines = [task.deadline for task in running
+                     if task.deadline is not None]
+        if pending and len(running) < workers:
+            deadlines.append(min(task.ready_at for task in pending))
+        if not deadlines:
+            return _POLL_S
+        return max(0.0, min(min(deadlines) - time.monotonic(), _POLL_S))
+
+    def _kill(self, task):
+        try:
+            task.proc.terminate()
+            task.proc.join(5)
+            if task.proc.is_alive():  # pragma: no cover - defensive
+                task.proc.kill()
+                task.proc.join(5)
+        finally:
+            task.conn.close()
+
+    # -- attempt outcomes ----------------------------------------------------
+
+    def _finish(self, task, pending, results, done, report, policy,
+                telemetry, now):
+        """A worker's pipe became readable: result, error, or EOF."""
+        try:
+            status, payload = task.conn.recv()
+        except (EOFError, OSError):
+            task.proc.join(5)
+            task.conn.close()
+            self._failure(task, "crash",
+                          f"worker died (exitcode "
+                          f"{task.proc.exitcode})", pending, results,
+                          report, policy, telemetry)
+            return
+        task.proc.join(5)
+        task.conn.close()
+        if status == "error":
+            self._failure(task, "error",
+                          f"{payload.get('type')}: "
+                          f"{payload.get('message')}", pending, results,
+                          report, policy, telemetry)
+            return
+        problem = validate_shard(payload)
+        if problem is not None:
+            self._failure(task, "corrupt", problem, pending, results,
+                          report, policy, telemetry)
+            return
+        meta = payload["meta"]
+        partial = bool(meta.get("partial"))
+        done[task.index] = payload
+        results[task.index] = ShardResult(
+            task.index, task.job.label,
+            "salvaged" if partial else "ok",
+            attempts=task.attempt + 1,
+            error_kind="vm" if partial else "",
+            error=meta.get("error", "") if partial else "",
+            wall_s=now - task.started)
+        if partial:
+            telemetry.event("supervisor.salvaged", shard=task.index,
+                            error_type=meta.get("error_type", ""),
+                            instructions=meta.get("instructions", 0))
+
+    def _failure(self, task, kind, message, pending, results, report,
+                 policy, telemetry):
+        """Classify a failed attempt; retry with backoff or give up."""
+        if task.attempt < policy.max_retries:
+            delay = backoff_delay(policy, task.index, task.attempt)
+            telemetry.event("supervisor.retry", shard=task.index,
+                            attempt=task.attempt, cause=kind,
+                            error=message, delay_s=round(delay, 4))
+            report.retries += 1
+            pending.append(_Attempt(task.index, task.job,
+                                    attempt=task.attempt + 1,
+                                    ready_at=time.monotonic() + delay))
+            return
+        result = ShardResult(task.index, task.job.label, "failed",
+                             attempts=task.attempt + 1,
+                             error_kind=kind, error=message)
+        results[task.index] = result
+        telemetry.event("supervisor.shard_failed", shard=task.index,
+                        attempts=result.attempts, cause=kind,
+                        error=message)
+        if policy.strict:
+            raise ShardFailedError(
+                f"shard {task.index} [{task.job.label}] failed after "
+                f"{result.attempts} attempt(s): {kind}: {message}",
+                shard=result)
+
+    # -- reduce --------------------------------------------------------------
+
+    def _merge(self, jobs, done, results, report, telemetry):
+        report.shards = [results[index] for index in range(len(jobs))]
+        if report.degraded:
+            telemetry.event("supervisor.degraded",
+                            failed=[shard.index
+                                    for shard in report.failed],
+                            merged=len(done))
+        if not done:
+            return SupervisedRun(profile=None, report=report)
+        indices = sorted(done)
+        with telemetry.span("supervisor.merge", shards=len(indices)):
+            graphs = [graph_from_dict(done[index]) for index in indices]
+            states = [tracker_state_from_dict(done[index])
+                      for index in indices]
+            graph, state = merge_graphs(graphs, states)
+        profile = AggregateProfile(
+            graph=graph, state=state,
+            metas=[done[index]["meta"] for index in indices])
+        return SupervisedRun(profile=profile, report=report)

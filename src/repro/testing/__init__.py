@@ -1,0 +1,14 @@
+"""Test harnesses that ship with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the supervised profiling runtime (and its CI smoke job) use to
+rehearse worker crashes, hangs, slow shards, and corrupt output.
+"""
+
+from .faults import (FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault,
+                     SimulatedKill, apply_fault, corrupt_shard)
+
+__all__ = [
+    "FAULT_KINDS", "FaultPlan", "FaultSpec", "InjectedFault",
+    "SimulatedKill", "apply_fault", "corrupt_shard",
+]

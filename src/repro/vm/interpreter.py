@@ -135,7 +135,16 @@ class VM:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> "VM":
-        """Execute from the entry method until it returns."""
+        """Execute from the entry method until it returns.
+
+        Containment contract: when execution dies with a
+        :class:`VMError` (including :class:`VMLimitError`),
+        ``instr_count`` reflects every executed instruction and the
+        phase windows are closed before the error escapes — the
+        attached tracer's graph-so-far remains a valid partial
+        profile, which the supervised profiling runtime salvages
+        instead of discarding the shard.
+        """
         entry = self.program.entry
         frame = Frame(entry)
         stack = [frame]
@@ -159,215 +168,225 @@ class VM:
         else:
             limit = max_steps
 
-        while stack:
-            frame = stack[-1]
-            code = frame.method.body
-            regs = frame.regs
-            pc = frame.pc
-            instr = code[pc]
-            op = instr.op
-            count += 1
-            if count > limit:
-                if count > max_steps:
+        try:
+            while stack:
+                frame = stack[-1]
+                code = frame.method.body
+                regs = frame.regs
+                pc = frame.pc
+                instr = code[pc]
+                op = instr.op
+                count += 1
+                if count > limit:
+                    if count > max_steps:
+                        self.instr_count = count
+                        raise VMLimitError(
+                            f"instruction budget of {max_steps} exceeded",
+                            instr, frame)
+                    # Telemetry growth sample (only reachable when enabled:
+                    # a disabled hub leaves limit == max_steps).
                     self.instr_count = count
-                    raise VMLimitError(
-                        f"instruction budget of {max_steps} exceeded",
-                        instr, frame)
-                # Telemetry growth sample (only reachable when enabled:
-                # a disabled hub leaves limit == max_steps).
-                self.instr_count = count
-                limit = min(max_steps,
-                            telemetry.vm_sample(self, stack, count))
+                    limit = min(max_steps,
+                                telemetry.vm_sample(self, stack, count))
 
-            if op == ins.OP_BINOP:
-                regs[instr.dest] = self._binop(instr, regs, frame)
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_CONST:
-                regs[instr.dest] = instr.value
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_MOVE:
-                regs[instr.dest] = regs[instr.src]
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_BRANCH:
-                frame.pc = (instr.then_index if regs[instr.cond]
-                            else instr.else_index)
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_JUMP:
-                frame.pc = instr.target_index
-
-            elif op == ins.OP_LOAD_FIELD:
-                obj = regs[instr.obj]
-                if obj is None:
-                    self.instr_count = count
-                    raise VMNullError(
-                        f"null dereference reading .{instr.field}",
-                        instr, frame)
-                regs[instr.dest] = obj.fields[instr.field]
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_load_field(instr, frame, obj)
-
-            elif op == ins.OP_STORE_FIELD:
-                obj = regs[instr.obj]
-                if obj is None:
-                    self.instr_count = count
-                    raise VMNullError(
-                        f"null dereference writing .{instr.field}",
-                        instr, frame)
-                value = regs[instr.src]
-                obj.fields[instr.field] = value
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_store_field(instr, frame, obj, value)
-
-            elif op == ins.OP_ARRAY_LOAD:
-                arr = regs[instr.arr]
-                if arr is None:
-                    self.instr_count = count
-                    raise VMNullError("null array load", instr, frame)
-                idx = regs[instr.idx]
-                elems = arr.elems
-                if idx < 0 or idx >= len(elems):
-                    self.instr_count = count
-                    raise VMBoundsError(
-                        f"index {idx} out of bounds for length {len(elems)}",
-                        instr, frame)
-                regs[instr.dest] = elems[idx]
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_array_load(instr, frame, arr, idx)
-
-            elif op == ins.OP_ARRAY_STORE:
-                arr = regs[instr.arr]
-                if arr is None:
-                    self.instr_count = count
-                    raise VMNullError("null array store", instr, frame)
-                idx = regs[instr.idx]
-                elems = arr.elems
-                if idx < 0 or idx >= len(elems):
-                    self.instr_count = count
-                    raise VMBoundsError(
-                        f"index {idx} out of bounds for length {len(elems)}",
-                        instr, frame)
-                value = regs[instr.src]
-                elems[idx] = value
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_array_store(instr, frame, arr, idx, value)
-
-            elif op == ins.OP_ARRAY_LEN:
-                arr = regs[instr.arr]
-                if arr is None:
-                    self.instr_count = count
-                    raise VMNullError("null array length", instr, frame)
-                regs[instr.dest] = len(arr.elems)
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_CALL:
-                frame.pc = pc + 1  # return continues after the call
-                callee_frame, recv_obj = self._make_callee_frame(
-                    instr, frame, count)
-                stack.append(callee_frame)
-                if traced:
-                    tracer.trace_call(instr, frame, callee_frame, recv_obj)
-
-            elif op == ins.OP_RETURN:
-                value = regs[instr.src] if instr.src is not None else None
-                if traced:
-                    tracer.trace_return(instr, frame)
-                stack.pop()
-                if stack:
-                    caller = stack[-1]
-                    call_instr = frame.call_instr
-                    if call_instr.dest is not None:
-                        caller.regs[call_instr.dest] = value
+                if op == ins.OP_BINOP:
+                    regs[instr.dest] = self._binop(instr, regs, frame)
+                    frame.pc = pc + 1
                     if traced:
-                        tracer.trace_call_complete(call_instr, caller)
-                else:
-                    self.result = value
+                        tracer.trace_instr(instr, frame)
 
-            elif op == ins.OP_UNOP:
-                src = regs[instr.src]
-                regs[instr.dest] = (-src if instr.unop == ins.UN_NEG
-                                    else not src)
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
+                elif op == ins.OP_CONST:
+                    regs[instr.dest] = instr.value
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
 
-            elif op == ins.OP_INTRINSIC:
-                regs[instr.dest] = self._intrinsic(instr, regs, frame, count)
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
+                elif op == ins.OP_MOVE:
+                    regs[instr.dest] = regs[instr.src]
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
 
-            elif op == ins.OP_NEW_OBJECT:
-                cls = self.program.classes[instr.class_name]
-                obj = self.heap.new_object(cls, instr.iid)
-                regs[instr.dest] = obj
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_new_object(instr, frame, obj)
+                elif op == ins.OP_BRANCH:
+                    frame.pc = (instr.then_index if regs[instr.cond]
+                                else instr.else_index)
+                    if traced:
+                        tracer.trace_instr(instr, frame)
 
-            elif op == ins.OP_NEW_ARRAY:
-                length = regs[instr.size]
-                if length < 0:
+                elif op == ins.OP_JUMP:
+                    frame.pc = instr.target_index
+
+                elif op == ins.OP_LOAD_FIELD:
+                    obj = regs[instr.obj]
+                    if obj is None:
+                        self.instr_count = count
+                        raise VMNullError(
+                            f"null dereference reading .{instr.field}",
+                            instr, frame)
+                    regs[instr.dest] = obj.fields[instr.field]
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_load_field(instr, frame, obj)
+
+                elif op == ins.OP_STORE_FIELD:
+                    obj = regs[instr.obj]
+                    if obj is None:
+                        self.instr_count = count
+                        raise VMNullError(
+                            f"null dereference writing .{instr.field}",
+                            instr, frame)
+                    value = regs[instr.src]
+                    obj.fields[instr.field] = value
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_store_field(instr, frame, obj, value)
+
+                elif op == ins.OP_ARRAY_LOAD:
+                    arr = regs[instr.arr]
+                    if arr is None:
+                        self.instr_count = count
+                        raise VMNullError("null array load", instr, frame)
+                    idx = regs[instr.idx]
+                    elems = arr.elems
+                    if idx < 0 or idx >= len(elems):
+                        self.instr_count = count
+                        raise VMBoundsError(
+                            f"index {idx} out of bounds for length {len(elems)}",
+                            instr, frame)
+                    regs[instr.dest] = elems[idx]
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_array_load(instr, frame, arr, idx)
+
+                elif op == ins.OP_ARRAY_STORE:
+                    arr = regs[instr.arr]
+                    if arr is None:
+                        self.instr_count = count
+                        raise VMNullError("null array store", instr, frame)
+                    idx = regs[instr.idx]
+                    elems = arr.elems
+                    if idx < 0 or idx >= len(elems):
+                        self.instr_count = count
+                        raise VMBoundsError(
+                            f"index {idx} out of bounds for length {len(elems)}",
+                            instr, frame)
+                    value = regs[instr.src]
+                    elems[idx] = value
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_array_store(instr, frame, arr, idx, value)
+
+                elif op == ins.OP_ARRAY_LEN:
+                    arr = regs[instr.arr]
+                    if arr is None:
+                        self.instr_count = count
+                        raise VMNullError("null array length", instr, frame)
+                    regs[instr.dest] = len(arr.elems)
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
+
+                elif op == ins.OP_CALL:
+                    frame.pc = pc + 1  # return continues after the call
+                    callee_frame, recv_obj = self._make_callee_frame(
+                        instr, frame, count)
+                    stack.append(callee_frame)
+                    if traced:
+                        tracer.trace_call(instr, frame, callee_frame, recv_obj)
+
+                elif op == ins.OP_RETURN:
+                    value = regs[instr.src] if instr.src is not None else None
+                    if traced:
+                        tracer.trace_return(instr, frame)
+                    stack.pop()
+                    if stack:
+                        caller = stack[-1]
+                        call_instr = frame.call_instr
+                        if call_instr.dest is not None:
+                            caller.regs[call_instr.dest] = value
+                        if traced:
+                            tracer.trace_call_complete(call_instr, caller)
+                    else:
+                        self.result = value
+
+                elif op == ins.OP_UNOP:
+                    src = regs[instr.src]
+                    regs[instr.dest] = (-src if instr.unop == ins.UN_NEG
+                                        else not src)
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
+
+                elif op == ins.OP_INTRINSIC:
+                    regs[instr.dest] = self._intrinsic(instr, regs, frame, count)
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
+
+                elif op == ins.OP_NEW_OBJECT:
+                    cls = self.program.classes[instr.class_name]
+                    obj = self.heap.new_object(cls, instr.iid)
+                    regs[instr.dest] = obj
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_new_object(instr, frame, obj)
+
+                elif op == ins.OP_NEW_ARRAY:
+                    length = regs[instr.size]
+                    if length < 0:
+                        self.instr_count = count
+                        raise VMBoundsError(
+                            f"negative array size {length}", instr, frame)
+                    arr = self.heap.new_array(instr.elem_type, instr.iid, length)
+                    regs[instr.dest] = arr
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_new_array(instr, frame, arr)
+
+                elif op == ins.OP_LOAD_STATIC:
+                    regs[instr.dest] = self._static_slot(
+                        instr.class_name, instr.field)
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
+
+                elif op == ins.OP_STORE_STATIC:
+                    self._set_static_slot(instr.class_name, instr.field,
+                                          regs[instr.src])
+                    frame.pc = pc + 1
+                    if traced:
+                        tracer.trace_instr(instr, frame)
+
+                elif op == ins.OP_CALL_NATIVE:
+                    self.instr_count = count  # natives may inspect the count
+                    native = instr.resolved_native
+                    if native is None:
+                        # Not resolvable at finalize (unknown name): raise
+                        # the usual execution-time error.
+                        native = lookup_native(instr.native)
+                    args = [regs[a] for a in instr.args]
+                    result = native(self, args)
+                    if instr.dest is not None:
+                        regs[instr.dest] = result
+                    frame.pc = pc + 1
+                    # Re-check: the native may have toggled tracking (phase).
+                    traced = tracer is not None and tracer.enabled
+                    if traced:
+                        tracer.trace_native(instr, frame)
+
+                else:  # pragma: no cover - defensive
                     self.instr_count = count
-                    raise VMBoundsError(
-                        f"negative array size {length}", instr, frame)
-                arr = self.heap.new_array(instr.elem_type, instr.iid, length)
-                regs[instr.dest] = arr
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_new_array(instr, frame, arr)
+                    raise VMError(f"unknown opcode {op}", instr, frame)
 
-            elif op == ins.OP_LOAD_STATIC:
-                regs[instr.dest] = self._static_slot(
-                    instr.class_name, instr.field)
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_STORE_STATIC:
-                self._set_static_slot(instr.class_name, instr.field,
-                                      regs[instr.src])
-                frame.pc = pc + 1
-                if traced:
-                    tracer.trace_instr(instr, frame)
-
-            elif op == ins.OP_CALL_NATIVE:
-                self.instr_count = count  # natives may inspect the count
-                native = instr.resolved_native
-                if native is None:
-                    # Not resolvable at finalize (unknown name): raise
-                    # the usual execution-time error.
-                    native = lookup_native(instr.native)
-                args = [regs[a] for a in instr.args]
-                result = native(self, args)
-                if instr.dest is not None:
-                    regs[instr.dest] = result
-                frame.pc = pc + 1
-                # Re-check: the native may have toggled tracking (phase).
-                traced = tracer is not None and tracer.enabled
-                if traced:
-                    tracer.trace_native(instr, frame)
-
-            else:  # pragma: no cover - defensive
-                self.instr_count = count
-                raise VMError(f"unknown opcode {op}", instr, frame)
-
+        except VMError:
+            # Fault containment (docs/RESILIENCE.md): a VMError must
+            # leave the VM in a coherent partial state -- instruction
+            # count current and phase windows closed -- so a supervised
+            # worker can salvage the tracker's graph-so-far instead of
+            # discarding the shard.
+            self.instr_count = count
+            self._close_phases()
+            raise
         self.instr_count = count
         self._close_phases()
         if telemetry.enabled:

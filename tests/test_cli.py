@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME,
+                       main)
 
 DEMO = """
 class Entry {
@@ -219,18 +220,18 @@ def test_report_parallel_profile(demo_file, tmp_path, capsys):
 
 
 class TestCleanErrors:
-    """User mistakes produce one-line errors and exit 1, not
-    tracebacks."""
+    """User mistakes produce one-line errors and the documented exit
+    codes (bad input 2, runtime failure 1), not tracebacks."""
 
     def test_missing_file(self, capsys):
-        assert main(["run", "ghost.mj"]) == 1
+        assert main(["run", "ghost.mj"]) == EXIT_BAD_INPUT
         err = capsys.readouterr().err
         assert "cannot open" in err
 
     def test_compile_error(self, tmp_path, capsys):
         path = tmp_path / "bad.mj"
         path.write_text("class Main { static void main() { int x = ; } }")
-        assert main(["run", str(path)]) == 1
+        assert main(["run", str(path)]) == EXIT_BAD_INPUT
         err = capsys.readouterr().err
         assert "parse error" in err
         assert "Traceback" not in err
@@ -240,12 +241,110 @@ class TestCleanErrors:
         path.write_text("class A { int v; }\nclass Main "
                         "{ static void main() { A a = null; "
                         "Sys.printInt(a.v); } }")
-        assert main(["run", str(path), "--no-stdlib"]) == 1
+        assert main(["run", str(path), "--no-stdlib"]) == EXIT_RUNTIME
         err = capsys.readouterr().err
         assert "null dereference" in err
         assert "Main.main" in err
 
     def test_unknown_workload_clean(self, capsys):
-        assert main(["workloads", "ghost_like"]) == 1
+        assert main(["workloads", "ghost_like"]) == EXIT_BAD_INPUT
         err = capsys.readouterr().err
         assert "unknown workload" in err
+
+    def test_corrupt_profile_is_bad_input(self, tmp_path, demo_file,
+                                          capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"version": 2, "nodes": [[1,')
+        assert main(["analyze", str(path), demo_file,
+                     "--no-stdlib"]) == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert "truncated" in err
+        assert "Traceback" not in err
+
+
+class TestResilienceFlags:
+    """Supervised sharding: fault plans, strict mode, degraded exit
+    code, checkpoint-resume, and profile salvage at the CLI surface."""
+
+    @pytest.fixture
+    def fault_env(self, monkeypatch):
+        def set_plan(plan_json):
+            monkeypatch.setenv("REPRO_FAULT_PLAN", plan_json)
+        return set_plan
+
+    def test_crash_then_succeed_recovers(self, demo_file, fault_env,
+                                         capsys):
+        fault_env('{"faults": [{"shard": 1, "attempt": 0, '
+                  '"kind": "crash"}]}')
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "3",
+                     "--report", "bloat"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 3 runs over 2 worker(s)" in out
+        assert "1 retry" in out
+        assert "ultimately-dead" in out
+
+    def test_unrecoverable_shard_degrades(self, demo_file, fault_env,
+                                          capsys):
+        fault_env('{"faults": [{"shard": 1, "attempt": 0, '
+                  '"kind": "crash"}]}')
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "3",
+                     "--max-retries", "0",
+                     "--report", "bloat"]) == EXIT_DEGRADED
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "shard 1 [run1]: failed" in out
+        assert "ultimately-dead" in out       # surviving shards merged
+
+    def test_strict_mode_fails_fast(self, demo_file, fault_env, capsys):
+        fault_env('{"faults": [{"shard": 0, "attempt": 0, '
+                  '"kind": "crash"}]}')
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "2", "--strict",
+                     "--max-retries", "0"]) == EXIT_RUNTIME
+        err = capsys.readouterr().err
+        assert "strict run aborted" in err
+
+    def test_resume_checkpoint_roundtrip(self, demo_file, tmp_path,
+                                         capsys):
+        ckpt = str(tmp_path / "ckpt.json")
+        g_resumed = str(tmp_path / "resumed.json")
+        g_plain = str(tmp_path / "plain.json")
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "3", "--resume", ckpt,
+                     "--report", "bloat"]) == 0
+        capsys.readouterr()
+        # Second invocation resumes every shard from the checkpoint.
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "3", "--resume", ckpt,
+                     "--report", "bloat",
+                     "--save-graph", g_resumed]) == 0
+        assert "3 resumed" in capsys.readouterr().out
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--jobs", "2", "--runs", "3",
+                     "--report", "bloat",
+                     "--save-graph", g_plain]) == 0
+        capsys.readouterr()
+        from repro.profiler import canonical_form, load_profile
+        resumed_graph, _, resumed_state = load_profile(g_resumed)
+        plain_graph, _, plain_state = load_profile(g_plain)
+        assert canonical_form(resumed_graph, resumed_state) == \
+            canonical_form(plain_graph, plain_state)
+
+    def test_analyze_salvage_flag(self, demo_file, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        assert main(["profile", demo_file, "--no-stdlib",
+                     "--report", "bloat",
+                     "--save-graph", str(graph_path)]) == 0
+        capsys.readouterr()
+        text = graph_path.read_text()
+        graph_path.write_text(text[:int(len(text) * 0.7)])
+        assert main(["analyze", str(graph_path), demo_file,
+                     "--no-stdlib"]) == EXIT_BAD_INPUT
+        capsys.readouterr()
+        assert main(["analyze", str(graph_path), demo_file,
+                     "--no-stdlib", "--salvage"]) == 0
+        captured = capsys.readouterr()
+        assert "salvage:" in captured.err
+        assert "loaded graph" in captured.out

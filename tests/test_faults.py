@@ -1,0 +1,85 @@
+"""The deterministic fault-injection harness itself."""
+
+import time
+
+import pytest
+
+from repro.testing.faults import (FAULT_KINDS, FaultPlan, FaultSpec,
+                                  InjectedFault, apply_fault,
+                                  corrupt_shard)
+
+
+class TestFaultSpec:
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor")
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind).kind == kind
+
+
+class TestFaultPlan:
+
+    def test_single_targets_requested_attempts(self):
+        plan = FaultPlan.single(2, "crash", attempts=(0, 1))
+        assert plan.get(2, 0).kind == "crash"
+        assert plan.get(2, 1).kind == "crash"
+        assert plan.get(2, 2) is None
+        assert plan.get(0, 0) is None
+
+    def test_seeded_is_reproducible(self):
+        a = FaultPlan.seeded(seed=42, shards=20, rate=0.5)
+        b = FaultPlan.seeded(seed=42, shards=20, rate=0.5)
+        assert a.faults == b.faults
+        assert a.faults  # rate 0.5 over 20 shards: faults exist
+        c = FaultPlan.seeded(seed=43, shards=20, rate=0.5)
+        assert a.faults != c.faults
+
+    def test_json_round_trip(self):
+        plan = FaultPlan({(0, 0): FaultSpec("crash", exit_code=7),
+                          (3, 1): FaultSpec("hang", hang_s=12.0)},
+                         abort_after=2)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.faults == plan.faults
+        assert again.abort_after == 2
+
+    def test_handwritten_json_defaults(self):
+        plan = FaultPlan.from_json('{"faults": [{"shard": 1, '
+                                   '"kind": "error"}]}')
+        assert plan.get(1, 0).kind == "error"
+        assert plan.abort_after is None
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           '{"faults": [{"shard": 0, "kind": "slow"}]}')
+        assert FaultPlan.from_env().get(0, 0).kind == "slow"
+
+
+class TestEnactment:
+
+    def test_slow_sleeps(self):
+        start = time.perf_counter()
+        apply_fault(FaultSpec("slow", delay_s=0.05))
+        assert time.perf_counter() - start >= 0.05
+
+    def test_error_raises(self):
+        with pytest.raises(InjectedFault):
+            apply_fault(FaultSpec("error"))
+
+    def test_corrupt_and_vmlimit_are_inert_here(self):
+        # These kinds wrap the run; apply_fault must not act on them.
+        apply_fault(FaultSpec("corrupt"))
+        apply_fault(FaultSpec("vmlimit"))
+
+    def test_corrupt_shard_trips_validation(self):
+        from repro.profiler import validate_shard
+        shard = {"version": 2, "meta": {}, "slots": 16,
+                 "nodes": [[1, 0], [2, 0]], "freq": [1, 1],
+                 "flags": [0, 0], "edges": []}
+        assert validate_shard(shard) is None
+        corrupt_shard(shard)
+        assert "misaligned" in validate_shard(shard)

@@ -15,9 +15,10 @@ import pytest
 
 from repro.profiler import (CONTEXTLESS, AggregateProfile, CostTracker,
                             DependenceGraph, ParallelProfiler,
-                            ProfileJob, TrackerState, canonical_form,
-                            graph_from_dict, graph_to_dict,
-                            merge_graphs, profile_jobs_sequential,
+                            ProfileInputError, ProfileJob, TrackerState,
+                            canonical_form, graph_from_dict,
+                            graph_to_dict, merge_graphs,
+                            profile_jobs_sequential,
                             tracker_state_from_dict)
 from repro.vm import VM
 from repro.workloads import get_workload
@@ -135,17 +136,24 @@ class TestMergeOperator:
         return tracker
 
     def test_empty_merge_rejected(self):
-        with pytest.raises(ValueError, match="at least one"):
+        # ProfileInputError subclasses ValueError, so pre-PR-4 callers
+        # catching ValueError still work; new code gets the typed error.
+        with pytest.raises(ProfileInputError, match="at least one"):
             merge_graphs([])
 
     def test_slots_mismatch_rejected(self):
-        with pytest.raises(ValueError, match="slots"):
+        with pytest.raises(ProfileInputError, match="slots"):
             merge_graphs([DependenceGraph(slots=8),
                           DependenceGraph(slots=16)])
 
     def test_state_count_mismatch_rejected(self):
-        with pytest.raises(ValueError, match="one state per graph"):
+        with pytest.raises(ProfileInputError, match="one state per graph"):
             merge_graphs([DependenceGraph(slots=8)], states=[])
+
+    def test_typed_errors_remain_valueerrors(self):
+        assert issubclass(ProfileInputError, ValueError)
+        with pytest.raises(ValueError):
+            profile_jobs_sequential([])
 
     def test_single_graph_identity(self):
         tracker = self._tracked("""

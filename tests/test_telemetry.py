@@ -264,6 +264,55 @@ class TestJsonlSink:
         stamps = [e["t"] for e in read_jsonl(path)]
         assert stamps == sorted(stamps)
 
+    def test_close_is_idempotent_and_drops_late_events(self, tmp_path):
+        path = str(tmp_path / "closed.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"ev": "before"})
+        sink.close()
+        sink.close()                       # second close is a no-op
+        sink.emit({"ev": "after"})         # dropped, not an error
+        assert [e["ev"] for e in read_jsonl(path)] == ["before"]
+
+    def test_crash_safety_emitted_events_survive_kill(self, tmp_path):
+        # Regression (docs/RESILIENCE.md): a process killed mid-run
+        # must leave every already-emitted event on disk as parseable
+        # JSONL — the sink flushes per batch instead of buffering.
+        import subprocess
+        import sys
+        path = str(tmp_path / "killed.jsonl")
+        script = (
+            "import os, sys\n"
+            "from repro.observability import JsonlSink, Telemetry\n"
+            "hub = Telemetry(sink=JsonlSink(sys.argv[1]))\n"
+            "for i in range(5):\n"
+            "    hub.event('tick', i=i)\n"
+            "os._exit(1)\n"              # simulated kill: no cleanup
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, path],
+            env={**__import__('os').environ,
+                 "PYTHONPATH": "src"},
+            cwd="/root/repo", timeout=60)
+        assert proc.returncode == 1
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        # meta header + the five ticks, each line independently valid.
+        assert [e["ev"] for e in lines[1:]] == ["tick"] * 5
+        assert [e["i"] for e in lines[1:]] == list(range(5))
+
+    def test_batched_flush_still_crash_safe_per_batch(self, tmp_path):
+        path = str(tmp_path / "batched.jsonl")
+        sink = JsonlSink(path, flush_every=3)
+        for i in range(7):
+            sink.emit({"ev": "tick", "i": i})
+        # 6 events span two full batches; the 7th may still be
+        # buffered — crash-safety is per *batch* at this setting.
+        with open(path) as handle:
+            flushed = [json.loads(line) for line in handle]
+        assert len(flushed) >= 6
+        sink.close()
+        assert len(read_jsonl(path)) == 7
+
 
 # -- self-profiling ----------------------------------------------------------
 
