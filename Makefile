@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-small bench-json bench-json-pr2 \
-	bench-json-pr4 examples table1 casestudies clean
+	bench-json-pr4 bench-json-pr5 examples table1 casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,13 @@ bench-json: bench-json-pr2
 # and checkpoint-resume wall (docs/RESILIENCE.md).
 bench-json-pr4:
 	$(PYTHON) benchmarks/bench_resilience_to_json.py
+
+# Tracing record (BENCH_PR5.json at the repo root): profiling wall
+# with the cross-process trace pipeline on vs off (the off runs guard
+# the zero-cost-when-disabled contract) plus the offline cost of
+# `repro trace` (docs/OBSERVABILITY.md).
+bench-json-pr5:
+	$(PYTHON) benchmarks/bench_trace_to_json.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -14,6 +14,8 @@
     python -m repro profile program.mj --self-profile
     python -m repro analyze gcost.json program.mj   # offline analysis
     python -m repro report gcost.json program.mj    # Markdown bloat report
+    python -m repro report gcost.json program.mj --format json
+    python -m repro trace run.jsonl                 # critical-path report
     python -m repro workloads --list
     python -m repro workloads bloat_like --small
     python -m repro table1 --small
@@ -68,17 +70,29 @@ def _telemetry_scope(path):
 
 
 def _load_program(path: str, use_stdlib: bool):
-    source = open(path).read()
-    if use_stdlib:
-        from .stdlib import compile_with_stdlib
-        return compile_with_stdlib(source)
-    from .lang import compile_source
-    return compile_source(source)
+    from .observability import current
+    with current().span("compile", file=path):
+        source = open(path).read()
+        if use_stdlib:
+            from .stdlib import compile_with_stdlib
+            return compile_with_stdlib(source)
+        from .lang import compile_source
+        return compile_source(source)
 
 
 def _print_reports(program, graph, which: str, top: int, *,
                    heap=None, instr_count: int = 0,
                    branch_outcomes=None, return_nodes=None):
+    from .observability import current
+    with current().span("analyze", report=which):
+        _print_reports_body(
+            program, graph, which, top, heap=heap,
+            instr_count=instr_count, branch_outcomes=branch_outcomes,
+            return_nodes=return_nodes)
+
+
+def _print_reports_body(program, graph, which, top, *, heap,
+                        instr_count, branch_outcomes, return_nodes):
     from .analyses import (analyze_caches, analyze_cost_benefit,
                            constant_predicates, dead_lines,
                            format_bloat_metrics, format_cache_report,
@@ -359,16 +373,52 @@ def _load_profile_maybe_salvaging(args):
 
 
 def cmd_report(args):
-    """Render the Markdown bloat report from a saved v2 profile."""
-    from .observability import render_bloat_report
+    """Render the bloat report (Markdown or JSON) from a saved v2
+    profile."""
     graph, meta, state = _load_profile_maybe_salvaging(args)
     program = _load_program(args.file, not args.no_stdlib)
-    text = render_bloat_report(graph, meta, state, program,
-                               top=args.top)
+    if args.format == "json":
+        import json
+
+        from .observability import bloat_report_data
+        text = json.dumps(bloat_report_data(graph, meta, state, program,
+                                            top=args.top), indent=2)
+    else:
+        from .observability import render_bloat_report
+        text = render_bloat_report(graph, meta, state, program,
+                                   top=args.top)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
         print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_trace(args):
+    """Timeline / critical-path report over a telemetry JSONL stream."""
+    from .observability import (format_trace_report, load_trace,
+                                trace_to_dict)
+    try:
+        trace = load_trace(args.events)
+    except ValueError as error:
+        print(f"repro: cannot parse {args.events!r}: {error}",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if not trace.events:
+        print(f"repro: {args.events!r} holds no telemetry events",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if args.format == "json":
+        import json
+        text = json.dumps(trace_to_dict(trace, top=args.top), indent=2)
+    else:
+        text = format_trace_report(trace, top=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"trace report written to {args.out}")
     else:
         print(text)
     return 0
@@ -501,13 +551,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="the MiniJ source (for site names)")
     p.add_argument("--top", type=int, default=10,
                    help="rows per report section (default 10)")
+    p.add_argument("--format", choices=("md", "json"), default="md",
+                   help="output format: Markdown (default) or "
+                        "machine-readable JSON")
     p.add_argument("--out", metavar="PATH",
-                   help="write the Markdown to PATH instead of stdout")
+                   help="write the report to PATH instead of stdout")
     p.add_argument("--no-stdlib", action="store_true")
     p.add_argument("--salvage", action="store_true",
                    help="best-effort recovery of a truncated or "
                         "corrupt profile (loads the decodable subset)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("trace",
+                       help="timeline / critical-path report from a "
+                            "telemetry JSONL stream")
+    p.add_argument("events",
+                   help="JSONL file from profile --telemetry")
+    p.add_argument("--top", type=int, default=10,
+                   help="shard attempts listed (default 10)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="report format (default text)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("workloads", help="list or run suite workloads")
     p.add_argument("name", nargs="?")

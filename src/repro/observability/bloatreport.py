@@ -73,6 +73,98 @@ def _field_rows(field_map, descriptions, top, reverse=True):
     return rows
 
 
+def _field_data(field_map, descriptions, top, reverse=True):
+    """JSON rows for a HRAC/HRAB section (same aggregation as
+    :func:`_field_rows`, machine-readable values)."""
+    inf = float("inf")
+    merged = {}
+    for (alloc_key, field), value in field_map.items():
+        key = (alloc_key[0], field)
+        entry = merged.get(key)
+        if entry is None:
+            merged[key] = [value, 1]
+        else:
+            if value == inf or entry[0] == inf:
+                entry[0] = inf
+            else:
+                entry[0] += value
+            entry[1] += 1
+    ranked = sorted(merged.items(),
+                    key=lambda item: (item[1][0] == inf, item[1][0]),
+                    reverse=reverse)
+    rows = []
+    for (iid, field), (value, contexts) in ranked[:top]:
+        what, method, line = descriptions.get(iid, ("?", "?", 0))
+        rows.append({"field": f"{what}.{field}", "method": method,
+                     "line": line, "contexts": contexts,
+                     "value": "inf" if value == inf else round(value, 4)})
+    return rows
+
+
+def bloat_report_data(graph, meta, state, program, top: int = 10) -> dict:
+    """The bloat report as a machine-readable dict (``report --format
+    json``).
+
+    Mirrors :func:`render_bloat_report` section by section — run
+    summary, cost-benefit ranking, HRAC/HRAB field tables, dead-value
+    metrics, tracker overhead — with raw numbers instead of Markdown
+    cells (``inf`` is serialized as the string ``"inf"`` since JSON
+    has no infinity literal).
+    """
+    from ..analyses import analyze_cost_benefit, measure_bloat
+    from ..analyses.batch import engine_for
+
+    def _num(value, digits=4):
+        if value is None:
+            return None
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            return round(value, digits)
+        return value
+
+    descriptions = _site_names(program)
+    engine = engine_for(graph)
+    instructions = meta.get("instructions", 0)
+
+    data = {
+        "summary": {
+            "label": meta.get("label", ""),
+            "instructions": instructions or None,
+            "slots": graph.slots,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "ref_edges": len(graph.ref_edges),
+            "memory_bytes": graph.memory_bytes(),
+            "conflict_ratio": (round(state.conflict_ratio(graph), 6)
+                               if state is not None else None),
+            "runs": meta.get("runs"),
+        },
+        "cost_benefit": [
+            {"rank": rank, "site": report.what, "method": report.method,
+             "line": report.line, "n_rac": _num(report.n_rac),
+             "n_rab": _num(report.n_rab), "ratio": _num(report.ratio),
+             "contexts": report.contexts}
+            for rank, report in enumerate(
+                analyze_cost_benefit(graph, program)[:top], start=1)],
+        "hrac": _field_data(engine.field_racs(), descriptions, top),
+        "hrab": _field_data(engine.field_rabs(), descriptions, top,
+                            reverse=False),
+    }
+    if instructions:
+        metrics = measure_bloat(graph, instructions)
+        data["dead_values"] = {"ipd": round(metrics.ipd, 6),
+                               "ipp": round(metrics.ipp, 6),
+                               "nld": round(metrics.nld, 6)}
+    else:
+        data["dead_values"] = None
+    overhead = meta.get("overhead")
+    data["overhead"] = dict(overhead) if overhead else None
+    if meta.get("trace"):
+        data["trace"] = dict(meta["trace"])
+    return data
+
+
 def render_bloat_report(graph, meta, state, program, top: int = 10) -> str:
     """Render the full Markdown bloat report for one saved profile.
 

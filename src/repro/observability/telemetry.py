@@ -23,20 +23,37 @@ the subject being measured, so the measurement must not perturb it:
   node frequencies *after* the run instead of being counted in the
   dispatch loop.
 
-Events are plain dicts; every event carries ``ev`` (its kind) and
-``t`` (seconds since the hub was created).  Sinks receive events as
-they are emitted; :class:`JsonlSink` writes one JSON object per line.
+Events are plain dicts; every event carries ``ev`` (its kind), ``t``
+(seconds since the hub was created), ``pid``, a per-hub monotonic
+``seq``, and ``hub`` (the emitting stream's id).  Sinks receive events
+as they are emitted; :class:`JsonlSink` writes one JSON object per
+line.
+
+Schema v2 adds *distributed tracing*: every hub belongs to a trace
+(``trace_id``), spans carry ``span_id``/``parent_id`` and emit a
+``span.start`` event on entry (so attempts that crash mid-span still
+appear in the stream), and a worker process can run a *child hub*
+(:func:`child_hub`) whose events are relayed back into the parent's
+sink — through the supervisor's result pipe (:class:`PipeSink`) or a
+per-shard JSONL spool — so one stream holds the whole run as a single
+stitched trace.  ``repro.observability.trace`` rebuilds the span tree
+and ``python -m repro trace run.jsonl`` renders the report.  Child
+hubs only ever exist when the parent's hub is enabled, preserving the
+zero-cost contract end to end.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import json
+import os
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass, replace
 
 #: Schema version stamped into the leading ``meta`` event of a stream.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default instructions-between-samples for the VM growth samples.
 DEFAULT_SAMPLE_INTERVAL = 65_536
@@ -96,14 +113,56 @@ class JsonlSink:
         atexit.unregister(self.close)
 
 
+class PipeSink:
+    """Relays events through a ``multiprocessing`` connection.
+
+    The supervisor's worker-side sink: each event is sent immediately
+    as an ``("ev", event)`` message on the result pipe, so the parent
+    receives intra-shard telemetry *while the attempt runs* — events
+    emitted before a crash, hang, or kill survive in the parent's
+    stream even though the attempt never completes.  A broken pipe
+    (parent already gave up on this attempt) drops events silently.
+    """
+
+    def __init__(self, conn):
+        self.conn = conn
+        self._broken = False
+
+    def emit(self, event: dict):
+        if self._broken:
+            return
+        try:
+            self.conn.send(("ev", event))
+        except (BrokenPipeError, OSError):
+            self._broken = True
+
+    def close(self):
+        # The connection belongs to the worker body, which still has
+        # its final result message to send.
+        pass
+
+
 def read_jsonl(path):
-    """Parse a :class:`JsonlSink` file back into a list of events."""
-    events = []
+    """Parse a :class:`JsonlSink` file back into a list of events.
+
+    Crash-safe readback: a stream cut mid-line by a dying writer keeps
+    every complete line — an undecodable *trailing* line is skipped
+    rather than raised.  Corruption anywhere earlier (a bad line with
+    valid lines after it) is still an error: that is damage, not
+    truncation.
+    """
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    lines = [(number, line) for number, line in enumerate(lines, 1)
+             if line]
+    events = []
+    for position, (number, line) in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                break  # truncated trailing line: the writer died mid-write
+            raise
     return events
 
 
@@ -114,6 +173,12 @@ class _NullSpan:
     """Reusable no-op context manager returned by ``NullTelemetry.span``."""
 
     __slots__ = ()
+
+    #: Mirrors :class:`SpanHandle` so callers can read the id
+    #: unconditionally (it is ``None``: no span was recorded).
+    span_id = None
+    parent_id = None
+    name = ""
 
     def __enter__(self):
         return self
@@ -149,6 +214,14 @@ class NullTelemetry:
 
     def span(self, name, **meta):
         return _NULL_SPAN
+
+    def relay(self, event):
+        pass
+
+    def trace_context(self):
+        """Disabled hubs propagate nothing: child processes of a run
+        with telemetry off must not build hubs of their own."""
+        return None
 
     def vm_sample(self, vm, stack, count):  # pragma: no cover - guarded
         return count + DEFAULT_SAMPLE_INTERVAL
@@ -191,6 +264,68 @@ def use(hub):
         set_current(previous)
 
 
+# -- trace context -----------------------------------------------------------
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random; telemetry-only, so the
+    randomness never touches the deterministic profiling paths)."""
+    return os.urandom(8).hex()
+
+
+#: Per-process hub ordinal: with the pid it makes hub/stream ids unique
+#: even when several hubs live in one process (in-process relay).
+_hub_ordinal = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a parent hub ships into a worker process.
+
+    ``trace_id`` names the whole run; ``parent_span`` is the span the
+    child's root span hangs under (the supervisor/pool map span);
+    ``sample_interval`` keeps child VM sampling at the parent's
+    cadence.  ``shard``/``attempt``/``label`` are stamped per attempt
+    by the launcher (:func:`for_shard`).  Plain frozen dataclass —
+    picklable across any start method.
+    """
+
+    trace_id: str
+    parent_span: str = None
+    sample_interval: int = DEFAULT_SAMPLE_INTERVAL
+    shard: int = None
+    attempt: int = 0
+    label: str = ""
+
+    def for_shard(self, shard: int, attempt: int = 0,
+                  label: str = "") -> "TraceContext":
+        return replace(self, shard=shard, attempt=attempt, label=label)
+
+
+class SpanHandle:
+    """What :meth:`Telemetry.span` yields: the span's identity."""
+
+    __slots__ = ("span_id", "parent_id", "name")
+
+    def __init__(self, span_id, parent_id, name):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+
+
+def child_hub(context: TraceContext, sink) -> "Telemetry":
+    """The worker-side hub of a relayed trace.
+
+    Joins the parent's trace (same ``trace_id``; root spans hang under
+    ``context.parent_span``) and inherits its sampling cadence.  Only
+    ever called when the parent's hub was enabled — a disabled parent
+    propagates no :class:`TraceContext` at all.
+    """
+    return Telemetry(sink=sink, sample_interval=context.sample_interval,
+                     trace_id=context.trace_id,
+                     parent_span=context.parent_span)
+
+
 # -- the live hub ------------------------------------------------------------
 
 
@@ -206,12 +341,16 @@ class Telemetry:
     sample_interval:
         Instructions between VM growth samples (node/edge counts,
         shadow-location population, heap allocations).
+    trace_id / parent_span:
+        Trace membership (schema v2).  By default every hub starts a
+        fresh trace; worker-side hubs join the parent's via
+        :func:`child_hub`.
     """
 
     enabled = True
 
     def __init__(self, sink=None, sample_interval=DEFAULT_SAMPLE_INTERVAL,
-                 clock=time.perf_counter):
+                 clock=time.perf_counter, trace_id=None, parent_span=None):
         self.sink = sink if sink is not None else MemorySink()
         self.sample_interval = sample_interval
         self.counters = {}
@@ -220,8 +359,22 @@ class Telemetry:
         self.timers = {}
         self._clock = clock
         self._t0 = clock()
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.parent_span = parent_span
+        self.pid = os.getpid()
+        #: Stream id: unique per hub even within one process, so span
+        #: ids never collide between a parent hub and an in-process
+        #: child hub, and the trace loader can group events per stream.
+        self.hub_id = f"{self.pid:x}.{next(_hub_ordinal)}"
+        self._seq = 0
+        self._spans = 0
+        #: Open-span stack; the top is the enclosing span of every
+        #: event emitted right now (``sp`` field).
+        self._span_stack = []
         self.event("meta", schema=SCHEMA_VERSION,
-                   sample_interval=sample_interval)
+                   sample_interval=sample_interval,
+                   trace=self.trace_id, parent_span=parent_span,
+                   t0_unix=round(time.time(), 6))
 
     # -- primitives ----------------------------------------------------------
 
@@ -243,20 +396,59 @@ class Telemetry:
             timer[1] += seconds
 
     def event(self, kind: str, **fields):
-        record = {"ev": kind, "t": round(self._now(), 6)}
+        self._seq += 1
+        record = {"ev": kind, "t": round(self._now(), 6),
+                  "pid": self.pid, "seq": self._seq, "hub": self.hub_id}
+        if self._span_stack:
+            record["sp"] = self._span_stack[-1]
         record.update(fields)
         self.sink.emit(record)
 
+    def relay(self, event: dict):
+        """Append an already-formed event from another stream verbatim.
+
+        The cross-process stitch: child-hub events (carrying their own
+        ``t``/``pid``/``seq``/``hub`` and span ids) land in this hub's
+        sink untouched, so one JSONL file holds the whole trace.
+        """
+        self.inc("telemetry.relayed")
+        self.sink.emit(event)
+
+    def _enter_span(self, name, meta):
+        parent = (self._span_stack[-1] if self._span_stack
+                  else self.parent_span)
+        self._spans += 1
+        span_id = f"{self.hub_id}.{self._spans}"
+        self.event("span.start", name=name, span_id=span_id,
+                   parent_id=parent, **meta)
+        self._span_stack.append(span_id)
+        return SpanHandle(span_id, parent, name)
+
     @contextmanager
     def span(self, name: str, **meta):
-        """Phase trace: times the block, emits a ``span`` event."""
+        """Phase trace: times the block, emits paired ``span.start`` /
+        ``span`` events (start survives even if the process dies inside
+        the block), and yields the :class:`SpanHandle`."""
+        handle = self._enter_span(name, meta)
         start = self._now()
         try:
-            yield self
+            yield handle
         finally:
             duration = self._now() - start
+            self._span_stack.pop()
             self.timer_add(name, duration)
-            self.event("span", name=name, dur=round(duration, 6), **meta)
+            self.event("span", name=name, span_id=handle.span_id,
+                       parent_id=handle.parent_id,
+                       dur=round(duration, 6), **meta)
+
+    def trace_context(self) -> TraceContext:
+        """The context a worker launched *right now* should inherit:
+        this hub's trace, with the currently open span (if any) as the
+        child's parent."""
+        parent = (self._span_stack[-1] if self._span_stack
+                  else self.parent_span)
+        return TraceContext(trace_id=self.trace_id, parent_span=parent,
+                            sample_interval=self.sample_interval)
 
     # -- VM integration ------------------------------------------------------
 

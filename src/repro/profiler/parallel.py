@@ -31,9 +31,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 
+from ..observability.telemetry import (NULL, JsonlSink, child_hub,
+                                       read_jsonl, set_current)
 from ..observability.telemetry import current as _current_telemetry
 from .errors import ProfileInputError
 from .graph import DependenceGraph
@@ -291,27 +295,64 @@ def _run_job(payload):
     per-worker telemetry: ``wall_s`` is the whole job (compile + run +
     serialize) and ``run_wall_s`` is the tracked execution alone (the
     number comparable against an untracked baseline for the
-    ``--self-profile`` overhead ratio).  Worker processes do not share
-    the parent's telemetry hub.
+    ``--self-profile`` overhead ratio).
+
+    ``payload`` may carry a sixth element, the relay spec
+    ``(TraceContext, spool_path)``: a child-side hub writing to the
+    per-shard JSONL spool is then installed as the process-wide hub
+    for the duration of the shard, the whole attempt runs inside a
+    ``shard.run`` span parented under the parent's ``parallel.map``
+    span, and the shard meta gains a ``trace`` record.  With no relay
+    spec (parent telemetry disabled) the hub is forced to NULL so a
+    forked worker cannot leak events into the parent's inherited sink
+    — the zero-cost contract holds end to end.
     """
-    job, slots, phases, track_cr, track_control = payload
-    start = time.perf_counter()
-    program = job.build()
-    tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
-                          track_control=track_control)
-    from ..vm import VM
-    vm = VM(program, tracer=tracker, max_steps=job.max_steps)
-    run_start = time.perf_counter()
-    vm.run()
-    run_wall = time.perf_counter() - run_start
-    return graph_to_dict(tracker.graph,
-                         meta={"label": job.label,
-                               "instructions": vm.instr_count,
-                               "output": vm.stdout(),
-                               "run_wall_s": round(run_wall, 6),
-                               "wall_s": round(
-                                   time.perf_counter() - start, 6)},
-                         tracker=tracker)
+    relay = None
+    if len(payload) == 6:
+        job, slots, phases, track_cr, track_control, relay = payload
+    else:
+        job, slots, phases, track_cr, track_control = payload
+    if relay is not None:
+        ctx, spool = relay
+        hub = child_hub(ctx, JsonlSink(spool))
+    else:
+        ctx, hub = None, NULL
+    previous = _current_telemetry()
+    set_current(hub)
+    try:
+        with hub.span("shard.run",
+                      shard=ctx.shard if ctx else None,
+                      attempt=ctx.attempt if ctx else 0,
+                      label=job.label) as span:
+            trace = None
+            if span.span_id is not None:
+                trace = {"trace_id": ctx.trace_id,
+                         "span_id": span.span_id, "pid": os.getpid(),
+                         "shard": ctx.shard, "attempt": ctx.attempt}
+            start = time.perf_counter()
+            program = job.build()
+            tracker = CostTracker(slots=slots, phases=phases,
+                                  track_cr=track_cr,
+                                  track_control=track_control)
+            from ..vm import VM
+            vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+            run_start = time.perf_counter()
+            vm.run()
+            run_wall = time.perf_counter() - run_start
+            result = graph_to_dict(
+                tracker.graph,
+                meta={"label": job.label,
+                      "instructions": vm.instr_count,
+                      "output": vm.stdout(),
+                      "run_wall_s": round(run_wall, 6),
+                      "wall_s": round(
+                          time.perf_counter() - start, 6)},
+                tracker=tracker, trace=trace)
+        return result
+    finally:
+        if relay is not None:
+            hub.close()
+        set_current(previous)
 
 
 @dataclass
@@ -367,9 +408,12 @@ class ParallelProfiler:
 
         When the process-wide telemetry hub is enabled the map and
         reduce phases are traced as spans (``parallel.map`` /
-        ``parallel.merge``) and each shard's wall time is emitted as a
-        ``worker`` event — the per-worker wall / merge-time breakdown
-        behind scaling decisions.
+        ``parallel.merge``), each worker streams its own events into a
+        per-shard JSONL spool that is relayed into the parent's stream
+        after the map phase (one stitched trace per run), and each
+        shard's ``worker`` summary event is derived from its relayed
+        ``shard.run`` span — not re-synthesized — so the trace holds
+        exactly one timing record per attempt.
         """
         jobs = list(jobs)
         if not jobs:
@@ -377,24 +421,65 @@ class ParallelProfiler:
                 "no profile jobs given: profile() requires at least "
                 "one ProfileJob")
         telemetry = _current_telemetry()
-        payloads = [(job, self.slots, self.phases, self.track_cr,
-                     self.track_control) for job in jobs]
         workers = self.workers
         if workers is None:
             workers = min(len(jobs), os.cpu_count() or 1)
+        run_spans = {}
         with telemetry.span("parallel.map", jobs=len(jobs),
                             workers=workers):
-            if workers <= 1 or len(jobs) == 1:
-                shards = [_run_job(payload) for payload in payloads]
-            else:
-                with self._context().Pool(min(workers, len(jobs))) as pool:
-                    shards = pool.map(_run_job, payloads, chunksize=1)
+            ctx = telemetry.trace_context()
+            spool_dir = None
+            relays = [None] * len(jobs)
+            if ctx is not None:
+                spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+                relays = [(ctx.for_shard(index, label=job.label),
+                           os.path.join(spool_dir,
+                                        f"shard-{index}.jsonl"))
+                          for index, job in enumerate(jobs)]
+            payloads = [(job, self.slots, self.phases, self.track_cr,
+                         self.track_control, relay)
+                        for job, relay in zip(jobs, relays)]
+            try:
+                if workers <= 1 or len(jobs) == 1:
+                    shards = [_run_job(payload) for payload in payloads]
+                else:
+                    with self._context().Pool(
+                            min(workers, len(jobs))) as pool:
+                        shards = pool.map(_run_job, payloads,
+                                          chunksize=1)
+            finally:
+                # Relay even when the map blows up: spools written by
+                # workers that finished (or died mid-shard — the spool
+                # readback skips a truncated trailing line) still join
+                # the trace.
+                if spool_dir is not None:
+                    relay_start = time.perf_counter()
+                    for index, (_, spool) in enumerate(relays):
+                        if not os.path.exists(spool):
+                            continue
+                        for event in read_jsonl(spool):
+                            telemetry.relay(event)
+                            if (event.get("ev") == "span"
+                                    and event.get("name") == "shard.run"):
+                                run_spans[index] = event
+                    telemetry.timer_add(
+                        "telemetry.relay",
+                        time.perf_counter() - relay_start)
+                    shutil.rmtree(spool_dir, ignore_errors=True)
         if telemetry.enabled:
-            for shard in shards:
+            for index, shard in enumerate(shards):
                 meta = shard["meta"]
-                telemetry.event("worker", label=meta.get("label", ""),
-                                wall_s=meta.get("wall_s", 0.0),
-                                instructions=meta.get("instructions", 0))
+                fields = {"label": meta.get("label", ""),
+                          "wall_s": meta.get("wall_s", 0.0),
+                          "instructions": meta.get("instructions", 0)}
+                span_event = run_spans.get(index)
+                if span_event is not None:
+                    # Derive the summary from the relayed span instead
+                    # of duplicating it as an independent measurement.
+                    fields["wall_s"] = span_event.get(
+                        "dur", fields["wall_s"])
+                    fields["span"] = span_event.get("span_id")
+                telemetry.event("worker", shard=index, **fields)
         with telemetry.span("parallel.merge", shards=len(shards)):
             graphs = [graph_from_dict(shard) for shard in shards]
             states = [tracker_state_from_dict(shard) for shard in shards]

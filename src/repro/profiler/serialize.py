@@ -44,14 +44,19 @@ FORMAT_VERSION = 2
 READABLE_VERSIONS = (1, 2)
 
 
-def graph_to_dict(graph: DependenceGraph, meta=None, tracker=None) -> dict:
+def graph_to_dict(graph: DependenceGraph, meta=None, tracker=None,
+                  trace=None) -> dict:
     """A JSON-serializable snapshot of the graph.
 
     ``meta`` carries run facts the graph itself doesn't hold (e.g.
     ``{"instructions": vm.instr_count}``) so offline analyses can
     compute trace-relative metrics like IPD.  ``tracker`` (a
     :class:`CostTracker` or :class:`TrackerState`) adds the
-    tracker-side state under the ``"tracker"`` key.
+    tracker-side state under the ``"tracker"`` key.  ``trace`` — the
+    producing worker's span context, a dict like ``{"trace_id": ...,
+    "span_id": ..., "pid": ..., "shard": ..., "attempt": ...}`` — is
+    stored under ``meta["trace"]`` so a saved profile can be joined
+    back to the telemetry stream that watched it being built.
     """
     data = {
         "version": FORMAT_VERSION,
@@ -77,6 +82,8 @@ def graph_to_dict(graph: DependenceGraph, meta=None, tracker=None) -> dict:
                          for node, preds
                          in sorted(graph.control_deps.items())],
     }
+    if trace is not None:
+        data["meta"]["trace"] = dict(trace)
     if tracker is not None:
         state = tracker.state() if hasattr(tracker, "state") else tracker
         data["tracker"] = {

@@ -48,6 +48,8 @@ import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as _mpconn
 
+from ..observability.telemetry import (NULL, PipeSink, child_hub,
+                                       set_current)
 from ..observability.telemetry import current as _current_telemetry
 from ..vm.errors import VMError
 from .checkpoint import jobs_fingerprint, load_checkpoint, write_checkpoint
@@ -185,7 +187,8 @@ class SupervisedRun:
 # -- worker body -------------------------------------------------------------
 
 
-def _run_job_salvaging(job, slots, phases, track_cr, track_control) -> dict:
+def _run_job_salvaging(job, slots, phases, track_cr, track_control,
+                       trace=None) -> dict:
     """Build + run one shard, salvaging VM faults into a partial profile.
 
     The VM's containment contract (``instr_count`` and phase windows
@@ -193,6 +196,8 @@ def _run_job_salvaging(job, slots, phases, track_cr, track_control) -> dict:
     graph-so-far is a valid — merely incomplete — profile; it ships
     back flagged ``partial`` with the error recorded, so one
     budget-blown shard degrades the run instead of failing it.
+    ``trace`` (the worker's span context) travels in the shard meta so
+    saved profiles can be joined back to their telemetry stream.
     """
     start = time.perf_counter()
     program = job.build()
@@ -211,25 +216,51 @@ def _run_job_salvaging(job, slots, phases, track_cr, track_control) -> dict:
     meta.update(instructions=vm.instr_count, output=vm.stdout(),
                 run_wall_s=round(time.perf_counter() - run_start, 6),
                 wall_s=round(time.perf_counter() - start, 6))
-    return graph_to_dict(tracker.graph, meta=meta, tracker=tracker)
+    return graph_to_dict(tracker.graph, meta=meta, tracker=tracker,
+                         trace=trace)
 
 
-def _shard_worker(payload, fault, conn):
-    """Child-process entry: run the shard, send ("ok"|"error", data)."""
+def _shard_entry(payload, fault, ctx, conn):
+    """Child-process entry: install the child-side hub, run the shard,
+    stream telemetry back, send ("ok"|"error", data).
+
+    ``ctx`` is the parent hub's :class:`TraceContext` (``None`` when
+    the parent's telemetry is disabled — the zero-cost contract means
+    no child hub is ever built then; the global hub is reset to NULL
+    so a forked worker cannot leak events into the parent's inherited
+    sink).  With a context, a hub relaying through the result pipe
+    (:class:`PipeSink`) is installed and the whole attempt runs inside
+    a ``shard.run`` root span whose parent is the supervisor's map
+    span; the ``span.start`` is on the wire *before* any fault fires,
+    so crashed and hung attempts still appear in the parent's trace.
+    """
     job, slots, phases, track_cr, track_control = payload
+    hub = child_hub(ctx, PipeSink(conn)) if ctx is not None else NULL
+    set_current(hub)
     try:
-        if fault is not None:
-            from ..testing.faults import VMLIMIT_BUDGET, apply_fault
-            apply_fault(fault)  # crash / hang / slow / error kinds
-            if fault.kind == "vmlimit":
-                from dataclasses import replace
-                job = replace(job,
-                              max_steps=min(job.max_steps, VMLIMIT_BUDGET))
-        shard = _run_job_salvaging(job, slots, phases, track_cr,
-                                   track_control)
-        if fault is not None and fault.kind == "corrupt":
-            from ..testing.faults import corrupt_shard
-            corrupt_shard(shard)
+        with hub.span("shard.run",
+                      shard=ctx.shard if ctx else None,
+                      attempt=ctx.attempt if ctx else 0,
+                      label=job.label) as span:
+            trace = None
+            if span.span_id is not None:
+                trace = {"trace_id": ctx.trace_id,
+                         "span_id": span.span_id, "pid": os.getpid(),
+                         "shard": ctx.shard, "attempt": ctx.attempt}
+            if fault is not None:
+                from ..testing.faults import VMLIMIT_BUDGET, apply_fault
+                apply_fault(fault)  # crash / hang / slow / error kinds
+                if fault.kind == "vmlimit":
+                    from dataclasses import replace
+                    job = replace(job,
+                                  max_steps=min(job.max_steps,
+                                                VMLIMIT_BUDGET))
+            shard = _run_job_salvaging(job, slots, phases, track_cr,
+                                       track_control, trace=trace)
+            if fault is not None and fault.kind == "corrupt":
+                from ..testing.faults import corrupt_shard
+                corrupt_shard(shard)
+        hub.flush()
         conn.send(("ok", shard))
     except BaseException as error:  # ship *any* failure to the parent
         try:
@@ -238,7 +269,12 @@ def _shard_worker(payload, fault, conn):
         except (BrokenPipeError, OSError):
             pass
     finally:
+        set_current(NULL)
         conn.close()
+
+
+#: Backwards-compatible alias (pre-trace name of the worker entry).
+_shard_worker = _shard_entry
 
 
 def validate_shard(shard) -> str:
@@ -372,9 +408,14 @@ class SupervisedProfiler:
             with telemetry.span("supervisor.map", jobs=len(jobs),
                                 workers=workers,
                                 resumed=len(done)):
+                # Child hubs hang their shard.run spans under the map
+                # span; a disabled hub propagates None and no child
+                # hub is ever built (zero-cost contract).
+                trace_ctx = telemetry.trace_context()
                 while pending or running:
                     now = time.monotonic()
-                    self._launch_ready(ctx, pending, running, workers, now)
+                    self._launch_ready(ctx, trace_ctx, pending, running,
+                                       workers, now)
                     if not running:
                         # Everything schedulable is backing off.
                         time.sleep(max(0.0, min(
@@ -387,14 +428,14 @@ class SupervisedProfiler:
                     now = time.monotonic()
                     for task in [t for t in running
                                  if t.conn in ready]:
-                        running.remove(task)
-                        self._finish(task, pending, results, done,
-                                     report, policy, telemetry, now)
+                        if self._finish(task, pending, results, done,
+                                        report, policy, telemetry, now):
+                            running.remove(task)
                     for task in [t for t in running
                                  if t.deadline is not None
                                  and now > t.deadline]:
                         running.remove(task)
-                        self._kill(task)
+                        self._kill(task, telemetry)
                         self._failure(task, "timeout",
                                       f"no result within "
                                       f"{policy.timeout_s}s", pending,
@@ -419,12 +460,13 @@ class SupervisedProfiler:
                                     f"shard(s)")
         finally:
             for task in running:
-                self._kill(task)
+                self._kill(task, telemetry)
         return self._merge(jobs, done, results, report, telemetry)
 
     # -- scheduling ----------------------------------------------------------
 
-    def _launch_ready(self, ctx, pending, running, workers, now):
+    def _launch_ready(self, ctx, trace_ctx, pending, running, workers,
+                      now):
         for task in [t for t in pending if t.ready_at <= now]:
             if len(running) >= workers:
                 break
@@ -433,9 +475,13 @@ class SupervisedProfiler:
                      if self.fault_plan is not None else None)
             payload = (task.job, self.slots, self.phases, self.track_cr,
                        self.track_control)
+            attempt_ctx = (trace_ctx.for_shard(task.index, task.attempt,
+                                               task.job.label)
+                           if trace_ctx is not None else None)
             recv_conn, send_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_shard_worker,
-                               args=(payload, fault, send_conn),
+                               args=(payload, fault, attempt_ctx,
+                                     send_conn),
                                daemon=True)
             proc.start()
             send_conn.close()  # parent's copy; EOF now tracks the child
@@ -455,7 +501,17 @@ class SupervisedProfiler:
             return _POLL_S
         return max(0.0, min(min(deadlines) - time.monotonic(), _POLL_S))
 
-    def _kill(self, task):
+    def _kill(self, task, telemetry=None):
+        # Salvage telemetry the worker already streamed (a hung
+        # attempt's span.start is what proves it existed).
+        if telemetry is not None:
+            try:
+                while task.conn.poll():
+                    message = task.conn.recv()
+                    if message[0] == "ev":
+                        telemetry.relay(message[1])
+            except (EOFError, OSError):
+                pass
         try:
             task.proc.terminate()
             task.proc.join(5)
@@ -469,17 +525,35 @@ class SupervisedProfiler:
 
     def _finish(self, task, pending, results, done, report, policy,
                 telemetry, now):
-        """A worker's pipe became readable: result, error, or EOF."""
-        try:
-            status, payload = task.conn.recv()
-        except (EOFError, OSError):
-            task.proc.join(5)
-            task.conn.close()
-            self._failure(task, "crash",
-                          f"worker died (exitcode "
-                          f"{task.proc.exitcode})", pending, results,
-                          report, policy, telemetry)
-            return
+        """A worker's pipe became readable: relayed telemetry, the
+        final result/error, or EOF (crash).
+
+        Relayed ``("ev", event)`` messages are appended verbatim to
+        the parent's stream; they always precede the final message, so
+        draining in arrival order keeps the trace coherent even for
+        attempts that crash mid-run.  Returns ``True`` when the
+        attempt is over (the caller then retires it from ``running``),
+        ``False`` when only telemetry was drained and the worker is
+        still going.
+        """
+        while True:
+            try:
+                message = task.conn.recv()
+            except (EOFError, OSError):
+                task.proc.join(5)
+                task.conn.close()
+                self._failure(task, "crash",
+                              f"worker died (exitcode "
+                              f"{task.proc.exitcode})", pending, results,
+                              report, policy, telemetry)
+                return True
+            if message[0] == "ev":
+                telemetry.relay(message[1])
+                if task.conn.poll():
+                    continue
+                return False
+            status, payload = message
+            break
         task.proc.join(5)
         task.conn.close()
         if status == "error":
@@ -487,12 +561,12 @@ class SupervisedProfiler:
                           f"{payload.get('type')}: "
                           f"{payload.get('message')}", pending, results,
                           report, policy, telemetry)
-            return
+            return True
         problem = validate_shard(payload)
         if problem is not None:
             self._failure(task, "corrupt", problem, pending, results,
                           report, policy, telemetry)
-            return
+            return True
         meta = payload["meta"]
         partial = bool(meta.get("partial"))
         done[task.index] = payload
@@ -507,6 +581,7 @@ class SupervisedProfiler:
             telemetry.event("supervisor.salvaged", shard=task.index,
                             error_type=meta.get("error_type", ""),
                             instructions=meta.get("instructions", 0))
+        return True
 
     def _failure(self, task, kind, message, pending, results, report,
                  policy, telemetry):

@@ -219,6 +219,68 @@ def test_report_parallel_profile(demo_file, tmp_path, capsys):
     assert "new Entry" in out
 
 
+def test_report_format_json(demo_file, tmp_path, capsys):
+    """report --format json emits the bloat report machine-readably."""
+    import json
+    graph_path = str(tmp_path / "g.json")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--save-graph", graph_path]) == 0
+    capsys.readouterr()
+    assert main(["report", graph_path, demo_file, "--no-stdlib",
+                 "--format", "json", "--top", "5"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert set(data) >= {"summary", "cost_benefit", "hrac", "hrab",
+                         "dead_values", "overhead"}
+    assert data["summary"]["nodes"] > 0
+    assert data["summary"]["conflict_ratio"] is not None
+    assert any("Entry" in row["site"] for row in data["cost_benefit"])
+    assert 0.0 <= data["dead_values"]["ipd"] <= 1.0
+
+
+def test_trace_command(demo_file, tmp_path, capsys):
+    """profile --telemetry then trace renders the critical-path report
+    over the stitched cross-process stream."""
+    import json
+    events_path = str(tmp_path / "events.jsonl")
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--jobs", "2", "--runs", "3",
+                 "--report", "bloat", "--telemetry", events_path]) == 0
+    capsys.readouterr()
+    assert main(["trace", events_path]) == 0
+    out = capsys.readouterr().out
+    assert "trace " in out
+    assert "supervisor.map" in out
+    assert "shard attempts (3" in out
+    assert "critical path" in out
+    assert "telemetry footprint" in out
+    assert main(["trace", events_path, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["critical_path_s"] <= data["wall_s"] + 1e-6
+    assert len(data["shard_attempts"]) == 3
+    assert data["streams"] >= 2              # parent + worker hubs
+
+
+def test_trace_command_out_file(demo_file, tmp_path, capsys):
+    events_path = str(tmp_path / "events.jsonl")
+    report_path = tmp_path / "trace.txt"
+    assert main(["profile", demo_file, "--no-stdlib",
+                 "--report", "bloat", "--telemetry", events_path]) == 0
+    capsys.readouterr()
+    assert main(["trace", events_path, "--out", str(report_path)]) == 0
+    assert "trace report written to" in capsys.readouterr().out
+    assert "phases" in report_path.read_text()
+
+
+def test_trace_command_bad_input(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "ghost.jsonl")]) == \
+        EXIT_BAD_INPUT
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == EXIT_BAD_INPUT
+    err = capsys.readouterr().err
+    assert "no telemetry events" in err
+
+
 class TestCleanErrors:
     """User mistakes produce one-line errors and the documented exit
     codes (bad input 2, runtime failure 1), not tracebacks."""

@@ -218,6 +218,102 @@ class TestTelemetry:
         assert degraded["failed"] == [1] and degraded["merged"] == 1
 
 
+class TestTraceRelay:
+    """Child-hub relay through the result pipe, under seeded faults."""
+
+    def run_with_hub(self, jobs, **kwargs):
+        sink = MemorySink()
+        hub = Telemetry(sink=sink)
+        previous = set_current(hub)
+        try:
+            run = supervised(jobs, **kwargs)
+        finally:
+            set_current(previous)
+        hub.close()
+        return run, hub, sink.events
+
+    def test_clean_run_relays_worker_streams(self):
+        jobs = make_jobs(2)
+        run, hub, events = self.run_with_hub(jobs)
+        assert run.report.ok
+        relayed = [e for e in events if e.get("pid") != hub.pid]
+        assert relayed, "no worker events were relayed"
+        # Worker streams join the parent's trace, with intact
+        # parentage and per-stream monotonic sequence numbers.
+        map_start = next(e for e in events
+                         if e.get("ev") == "span.start"
+                         and e.get("name") == "supervisor.map")
+        by_hub = {}
+        for event in relayed:
+            by_hub.setdefault(event["hub"], []).append(event)
+        assert len(by_hub) == 2
+        for stream in by_hub.values():
+            meta = stream[0]
+            assert meta["ev"] == "meta"
+            assert meta["trace"] == hub.trace_id
+            assert meta["parent_span"] == map_start["span_id"]
+            seqs = [e["seq"] for e in stream]
+            assert seqs == sorted(seqs)
+            run_start = next(e for e in stream
+                             if e["ev"] == "span.start"
+                             and e["name"] == "shard.run")
+            assert run_start["parent_id"] == map_start["span_id"]
+
+    def test_crashed_attempts_events_survive(self):
+        jobs = make_jobs(2)
+        run, hub, events = self.run_with_hub(
+            jobs, fault_plan=FaultPlan.single(1, "crash"))
+        assert run.report.ok and run.report.retries == 1
+        starts = [e for e in events if e.get("ev") == "span.start"
+                  and e.get("name") == "shard.run"
+                  and e.get("shard") == 1]
+        # Both attempts opened a span; only the retry closed one.
+        assert {e.get("attempt") for e in starts} == {0, 1}
+        closes = [e for e in events if e.get("ev") == "span"
+                  and e.get("name") == "shard.run"
+                  and e.get("shard") == 1]
+        assert [e.get("attempt") for e in closes] == [1]
+        assert hub.counters["telemetry.relayed"] > 0
+
+    def test_killed_hung_attempt_leaves_span_start(self):
+        jobs = make_jobs(1)
+        run, hub, events = self.run_with_hub(
+            jobs,
+            policy=ShardPolicy(timeout_s=1.0, max_retries=1,
+                               backoff_base_s=0.01),
+            fault_plan=FaultPlan.single(0, "hang"))
+        assert run.report.ok
+        assert run.report.shards[0].attempts == 2
+        starts = [e for e in events if e.get("ev") == "span.start"
+                  and e.get("name") == "shard.run"]
+        # The killed attempt's start was salvaged off the pipe before
+        # termination, so the trace still shows it.
+        assert {e.get("attempt") for e in starts} == {0, 1}
+
+    def test_seeded_plan_trace_parentage_intact(self):
+        from repro.observability import trace_from_events
+        jobs = make_jobs(4)
+        run, hub, events = self.run_with_hub(
+            jobs, workers=4,
+            fault_plan=FaultPlan.seeded(7, shards=4, rate=0.9,
+                                        kinds=("crash", "error")))
+        assert run.report.ok
+        trace = trace_from_events(events)
+        assert trace.trace_ids == [hub.trace_id]
+        [map_span] = trace.spans_named("supervisor.map")
+        attempts = trace.shard_attempts()
+        assert len(attempts) == 4 + run.report.retries
+        for span in attempts:
+            assert span.parent_id == map_span.span_id
+        assert trace.critical_path_duration() <= trace.wall + 1e-6
+
+    def test_no_relay_without_parent_hub(self):
+        run = supervised(make_jobs(2))
+        assert run.report.ok
+        for meta in run.profile.metas:
+            assert "trace" not in meta
+
+
 class TestBackoff:
 
     def test_deterministic_and_bounded(self):

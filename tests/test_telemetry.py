@@ -16,8 +16,9 @@ import json
 import pytest
 
 from repro.lang import compile_source
-from repro.observability import (NULL, JsonlSink, MemorySink,
-                                 NullTelemetry, Telemetry, current,
+from repro.observability import (NULL, SCHEMA_VERSION, JsonlSink,
+                                 MemorySink, NullTelemetry, Telemetry,
+                                 TraceContext, child_hub, current,
                                  emit_tracker_stats, measure_overhead,
                                  opcode_class_counts, read_jsonl,
                                  set_current, slot_collision_counts,
@@ -247,7 +248,9 @@ class TestJsonlSink:
             assert "ev" in event and "t" in event
         kinds = [e["ev"] for e in events]
         assert kinds[0] == "meta"
-        assert events[0]["schema"] == 1
+        assert events[0]["schema"] == SCHEMA_VERSION
+        assert events[0]["trace"]
+        assert "t0_unix" in events[0]
         assert "vm.run" in kinds
         assert "counters" in kinds
         # One JSON object per line, parseable independently.
@@ -312,6 +315,99 @@ class TestJsonlSink:
         assert len(flushed) >= 6
         sink.close()
         assert len(read_jsonl(path)) == 7
+
+
+# -- schema v2 tracing -------------------------------------------------------
+
+
+class TestTracing:
+    def test_events_stamped_with_pid_seq_hub(self):
+        import os
+        sink = MemorySink()
+        hub = Telemetry(sink=sink)
+        hub.event("one")
+        hub.event("two")
+        hub.close()
+        for event in sink.events:
+            assert event["pid"] == os.getpid()
+            assert event["hub"] == hub.hub_id
+        assert [e["seq"] for e in sink.events] == [1, 2, 3]
+
+    def test_span_pairs_and_parentage(self):
+        sink = MemorySink()
+        hub = Telemetry(sink=sink)
+        with hub.span("outer") as outer:
+            with hub.span("inner") as inner:
+                hub.event("leaf")
+        hub.close()
+        starts = {e["name"]: e for e in sink.events
+                  if e["ev"] == "span.start"}
+        ends = {e["name"]: e for e in sink.events if e["ev"] == "span"}
+        assert set(starts) == set(ends) == {"outer", "inner"}
+        assert starts["outer"]["span_id"] == outer.span_id
+        assert starts["inner"]["parent_id"] == outer.span_id
+        assert ends["inner"]["parent_id"] == outer.span_id
+        assert inner.parent_id == outer.span_id
+        # Non-span events carry the innermost enclosing span in "sp".
+        leaf = next(e for e in sink.events if e["ev"] == "leaf")
+        assert leaf["sp"] == inner.span_id
+
+    def test_trace_context_propagates_current_span(self):
+        hub = Telemetry(sink=MemorySink())
+        root = hub.trace_context()
+        assert root.trace_id == hub.trace_id
+        assert root.parent_span is None
+        with hub.span("phase") as span:
+            ctx = hub.trace_context()
+        hub.close()
+        assert ctx.parent_span == span.span_id
+        stamped = ctx.for_shard(3, attempt=1, label="x")
+        assert stamped.shard == 3 and stamped.attempt == 1
+        assert stamped.trace_id == hub.trace_id
+
+    def test_child_hub_joins_parent_trace(self):
+        parent = Telemetry(sink=MemorySink())
+        with parent.span("supervisor.map") as span:
+            ctx = parent.trace_context()
+        sink = MemorySink()
+        child = child_hub(ctx, sink)
+        with child.span("shard.run"):
+            pass
+        child.close()
+        parent.close()
+        meta = sink.events[0]
+        assert meta["trace"] == parent.trace_id
+        assert meta["parent_span"] == span.span_id
+        run = next(e for e in sink.events if e["ev"] == "span")
+        assert run["parent_id"] == span.span_id
+        # Two hubs, even in one process, get distinct stream ids.
+        assert child.hub_id != parent.hub_id
+
+    def test_null_hub_has_no_trace_context(self):
+        assert NULL.trace_context() is None
+        NULL.relay({"ev": "x"})            # no-op, no error
+
+    def test_relay_appends_foreign_event(self):
+        sink = MemorySink()
+        hub = Telemetry(sink=sink)
+        foreign = {"ev": "tick", "t": 0.5, "pid": 1234, "seq": 1,
+                   "hub": "4d2.1"}
+        hub.relay(foreign)
+        hub.close()
+        assert foreign in sink.events
+        assert hub.counters["telemetry.relayed"] == 1
+
+    def test_read_jsonl_skips_truncated_trailing_line(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"ev": "a", "t": 1}\n{"ev": "b", "t"')
+        events = read_jsonl(str(path))
+        assert [e["ev"] for e in events] == ["a"]
+
+    def test_read_jsonl_still_raises_on_interior_damage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev": "a"}\nnot json\n{"ev": "b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
 
 
 # -- self-profiling ----------------------------------------------------------
