@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-small bench-json bench-json-pr2 \
-	bench-json-pr4 bench-json-pr5 examples table1 casestudies clean
+	bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-regression \
+	examples table1 casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,8 +26,21 @@ bench-small:
 bench-json-pr2:
 	$(PYTHON) benchmarks/bench_to_json.py
 
-# Backwards-compatible alias (the record used to be BENCH_PR1.json).
-bench-json: bench-json-pr2
+# Exec-tier / sampling matrix (BENCH_PR7.json at the repo root):
+# interp-vs-compiled ops/sec, tracked-vs-untraced throughput with the
+# adaptive burst schedule, estimated-vs-exact frequency error, and
+# the perf gates CI's regression guard compares against.
+bench-json-pr7:
+	$(PYTHON) benchmarks/bench_matrix.py
+
+# The canonical machine-readable record is the PR7 matrix now; the
+# earlier per-PR records stay available under their own targets.
+bench-json: bench-json-pr7
+
+# Re-measure the matrix (quick sizes) and fail if a tracked-s16 ratio
+# regressed >10% against the committed BENCH_PR7.json baseline.
+bench-regression:
+	$(PYTHON) tools/check_bench_regression.py
 
 # Resilience record (BENCH_PR4.json at the repo root): supervisor
 # clean-path overhead vs the plain pool, degraded-run recovery walls,

@@ -84,11 +84,12 @@ def clean_path():
         if canonical_form(graph, state) != oracle_key:
             raise AssertionError(f"{label} merge diverged from the "
                                  f"sequential oracle")
-    return {
+    cpus = os.cpu_count()
+    record = {
         "stress_shard": dict(STRESS),
         "shards": SHARDS,
         "workers": WORKERS,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
         "pool_wall_seconds": round(pool_s, 3),
         "supervised_wall_seconds": round(sup_s, 3),
         "supervision_overhead": round(sup_s / pool_s, 3),
@@ -98,6 +99,13 @@ def clean_path():
                  "bookkeeping over the pool's reused workers; expected "
                  "within noise of 1.0 on multi-core hosts"),
     }
+    if cpus is not None and cpus < 2:
+        # Both walls are serialized on a single core, so they say
+        # nothing about how supervision scales across workers — only
+        # the overhead ratio (same worker count on both sides) is
+        # meaningful here.
+        record["scaling_not_measured"] = True
+    return record
 
 
 def degraded_runs():

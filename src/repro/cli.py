@@ -155,13 +155,14 @@ def _print_reports_body(program, graph, which, top, *, heap,
 def cmd_run(args):
     from .vm import VM
     program = _load_program(args.file, not args.no_stdlib)
-    vm = VM(program, max_steps=args.max_steps)
+    vm = VM(program, max_steps=args.max_steps, exec_mode=args.exec_mode)
     vm.run()
     sys.stdout.write(vm.stdout())
     if not vm.stdout().endswith("\n"):
         print()
     print(f"[{vm.instr_count} instructions, "
-          f"{vm.heap.total_allocated} allocations]", file=sys.stderr)
+          f"{vm.heap.total_allocated} allocations, "
+          f"{vm.exec_tier} tier]", file=sys.stderr)
     return 0
 
 
@@ -177,18 +178,35 @@ def cmd_profile(args):
         return _cmd_profile(args)
 
 
+def _sampling_banner(stats) -> float:
+    """Print the estimate disclaimer for a sampled profile; return the
+    frequency scale factor."""
+    factor = stats.get("factor") or 1.0
+    tracked = stats["tracked_instructions"]
+    total = stats["total_instructions"]
+    duty = tracked / total if total else 0.0
+    print(f"sampling: tracked {tracked}/{total} instructions "
+          f"({duty:.2%} duty, {stats['toggles']} toggles); "
+          f"frequencies scaled x{factor:.1f}")
+    print("sampling: frequencies below are estimates; dead/bloat "
+          "classification requires an exact (unsampled) run")
+    return factor
+
+
 def _cmd_profile(args):
     import time
     runs = args.runs if args.runs is not None else max(args.jobs, 1)
     if args.jobs > 1 or runs > 1 or args.resume:
         return _profile_parallel(args, runs)
-    from .profiler import CostTracker, save_graph
+    from .profiler import CostTracker, parse_sample_spec, save_graph
     from .vm import VM
     program = _load_program(args.file, not args.no_stdlib)
     tracker = CostTracker(slots=args.slots,
                           phases=set(args.phases) if args.phases
                           else None)
-    vm = VM(program, tracer=tracker, max_steps=args.max_steps)
+    vm = VM(program, tracer=tracker, max_steps=args.max_steps,
+            exec_mode=args.exec_mode,
+            sampling=parse_sample_spec(args.sample))
     start = time.perf_counter()
     vm.run()
     tracked_wall = time.perf_counter() - start
@@ -196,7 +214,17 @@ def _cmd_profile(args):
     print(f"instructions: {vm.instr_count}; graph: "
           f"{tracker.graph.num_nodes} nodes / "
           f"{tracker.graph.num_edges} edges; "
-          f"CR: {tracker.conflict_ratio():.3f}")
+          f"CR: {tracker.conflict_ratio():.3f}; "
+          f"tier: {vm.exec_tier}")
+    sampling_stats = vm.sampling_stats()
+    raw_freq = None
+    if sampling_stats is not None:
+        from .profiler import apply_sampling_scale
+        factor = _sampling_banner(sampling_stats)
+        # Reports read estimated (scaled) frequencies; the graph is
+        # restored to raw sampled counts before it is saved, so the
+        # file stays mergeable with other shards.
+        raw_freq = apply_sampling_scale(tracker.graph, factor)
     print()
     overhead = None
     if args.self_profile:
@@ -226,9 +254,14 @@ def _cmd_profile(args):
                    branch_outcomes=tracker.branch_outcomes,
                    return_nodes=tracker.return_nodes)
     if args.save_graph:
+        if raw_freq is not None:
+            tracker.graph.freq = raw_freq
         meta = {"instructions": vm.instr_count,
                 "slots": args.slots,
-                "output": vm.stdout()}
+                "output": vm.stdout(),
+                "exec_mode": vm.exec_tier}
+        if sampling_stats is not None:
+            meta["sampling"] = sampling_stats
         if overhead is not None:
             meta["overhead"] = overhead.as_dict()
         save_graph(tracker.graph, args.save_graph, meta=meta,
@@ -242,13 +275,16 @@ def _profile_parallel(args, runs: int):
     supervised (retries / timeouts / checkpoints; docs/RESILIENCE.md)
     and merged into one Gcost before reporting."""
     from .profiler import (ProfileJob, ShardPolicy, SupervisedProfiler,
-                           save_graph)
+                           parse_sample_spec, save_graph)
     from .testing.faults import FaultPlan
     program = _load_program(args.file, not args.no_stdlib)
+    sampling = parse_sample_spec(args.sample)
     jobs = [ProfileJob.from_file(args.file,
                                  use_stdlib=not args.no_stdlib,
                                  label=f"run{i}",
-                                 max_steps=args.max_steps)
+                                 max_steps=args.max_steps,
+                                 exec_mode=args.exec_mode,
+                                 sampling=sampling)
             for i in range(runs)]
     policy = ShardPolicy(timeout_s=args.shard_timeout,
                          max_retries=args.max_retries,
@@ -274,7 +310,21 @@ def _profile_parallel(args, runs: int):
     print(f"output: {result.outputs[0]!r}")
     print(f"instructions: {result.instructions}; merged graph: "
           f"{graph.num_nodes} nodes / {graph.num_edges} edges; "
-          f"CR: {result.conflict_ratio():.3f}")
+          f"CR: {result.conflict_ratio():.3f}; "
+          f"tier: {result.metas[0].get('exec_mode', 'interp')}")
+    raw_freq = None
+    if result.sampled:
+        from .profiler import apply_sampling_scale
+        shard_stats = [meta.get("sampling") for meta in result.metas]
+        totals = {
+            "tracked_instructions": sum(
+                s["tracked_instructions"] for s in shard_stats if s),
+            "total_instructions": result.instructions,
+            "toggles": sum(s["toggles"] for s in shard_stats if s),
+            "factor": result.sampling_factor,
+        }
+        _sampling_banner(totals)
+        raw_freq = apply_sampling_scale(graph, result.sampling_factor)
     print()
     overhead = None
     if args.self_profile:
@@ -304,10 +354,17 @@ def _profile_parallel(args, runs: int):
                    branch_outcomes=result.state.branch_outcomes,
                    return_nodes=result.state.return_nodes)
     if args.save_graph:
+        if raw_freq is not None:
+            graph.freq = raw_freq
         meta = {"instructions": result.instructions,
                 "slots": args.slots,
                 "runs": runs,
-                "output": result.outputs[0]}
+                "output": result.outputs[0],
+                "exec_mode": result.metas[0].get("exec_mode")}
+        if result.sampled:
+            meta["sampling_factor"] = result.sampling_factor
+            meta["shard_sampling"] = [m.get("sampling")
+                                      for m in result.metas]
         if overhead is not None:
             meta["overhead"] = overhead.as_dict()
         if report.degraded:
@@ -479,9 +536,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compile without the MiniJ stdlib")
         p.add_argument("--max-steps", type=int, default=2_000_000_000)
 
+    def add_exec_mode(p):
+        from .vm import EXEC_MODES
+        p.add_argument("--exec-mode", choices=sorted(EXEC_MODES),
+                       default=None,
+                       help="execution tier: 'compiled' (template-"
+                            "compiled dispatch, the default) or "
+                            "'interp' (reference interpreter loop)")
+
     p = sub.add_parser("run", help="execute a MiniJ program")
     p.add_argument("file")
     add_common(p)
+    add_exec_mode(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("disasm", help="print the compiled TAC")
@@ -493,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run under the cost tracker and report")
     p.add_argument("file")
     add_common(p)
+    add_exec_mode(p)
+    p.add_argument("--sample", metavar="SPEC", default=None,
+                   help="burst-sampled tracking: 'on' (default "
+                        "schedule), 'off', or "
+                        "'window:period[:warmup[:growth]]' in "
+                        "instructions; Gcost frequencies are scaled "
+                        "by the sampling factor and reported as "
+                        "estimates")
     p.add_argument("--slots", type=int, default=16,
                    help="context slots s (default 16)")
     p.add_argument("--report", choices=REPORT_CHOICES, default="all")

@@ -16,8 +16,11 @@ from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     F_HEAP_WRITE, F_NATIVE, F_PREDICATE, CSRGraph,
                     DependenceGraph)
 from .parallel import (AggregateProfile, ParallelProfiler, ProfileJob,
-                       canonical_form, merge_graphs,
+                       canonical_form, merge_graphs, normalize_sampling,
                        profile_jobs_sequential)
+from .sampling import (DEFAULT_SPEC, SampleCursor, SampleSchedule,
+                       aggregate_factor, apply_sampling_scale,
+                       parse_sample_spec)
 from .serialize import (SalvageReport, content_checksum, graph_from_dict,
                         graph_to_dict, load_graph, load_graph_with_meta,
                         load_profile, salvage_profile, save_graph,
@@ -41,7 +44,9 @@ __all__ = [
     "load_graph_with_meta", "load_profile", "tracker_state_from_dict",
     "salvage_profile", "SalvageReport", "content_checksum",
     "ParallelProfiler", "ProfileJob", "AggregateProfile", "merge_graphs",
-    "profile_jobs_sequential", "canonical_form",
+    "profile_jobs_sequential", "canonical_form", "normalize_sampling",
+    "DEFAULT_SPEC", "SampleSchedule", "SampleCursor", "parse_sample_spec",
+    "aggregate_factor", "apply_sampling_scale",
     "SupervisedProfiler", "SupervisedRun", "ShardPolicy", "ShardResult",
     "RunReport", "backoff_delay", "validate_shard",
     "jobs_fingerprint", "write_checkpoint", "load_checkpoint",

@@ -39,11 +39,25 @@ CHECKPOINT_VERSION = 1
 
 def jobs_fingerprint(jobs, slots: int, phases, track_cr: bool,
                      track_control: bool) -> str:
-    """Identity of a profiling campaign: jobs + tracker configuration."""
+    """Identity of a profiling campaign: jobs + tracker configuration.
+
+    Execution mode and sampling schedule are part of a job's identity:
+    resuming a sampled campaign with a different schedule (or tier)
+    would merge shards whose window sequences disagree, so such a
+    resume must miss the fingerprint and start fresh.  Jobs with
+    neither set serialize exactly as before, keeping pre-existing
+    checkpoint fingerprints valid.
+    """
     import hashlib
+    entries = []
+    for job in jobs:
+        entry = [job.kind, job.spec, job.label, job.max_steps]
+        if job.exec_mode is not None or job.sampling is not None:
+            entry.append({"exec_mode": job.exec_mode,
+                          "sampling": job.sampling})
+        entries.append(entry)
     recipe = {
-        "jobs": [[job.kind, job.spec, job.label, job.max_steps]
-                 for job in jobs],
+        "jobs": entries,
         "slots": slots,
         "phases": sorted(phases) if phases is not None else None,
         "track_cr": track_cr,

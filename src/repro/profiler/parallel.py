@@ -49,6 +49,24 @@ from .tracker import CostTracker
 DEFAULT_MAX_STEPS = 2_000_000_000
 
 
+def normalize_sampling(sampling):
+    """Normalize a sampling argument to a serialized schedule dict.
+
+    Accepts ``None``, a :class:`~repro.profiler.sampling.SampleSchedule`,
+    an ``as_dict()`` snapshot, or a ``--sample`` spec string; returns
+    the JSON/pickle-safe dict representation jobs carry (or ``None``).
+    """
+    if sampling is None:
+        return None
+    from .sampling import SampleSchedule, parse_sample_spec
+    if isinstance(sampling, SampleSchedule):
+        return sampling.as_dict()
+    if isinstance(sampling, dict):
+        return SampleSchedule.from_dict(sampling).as_dict()
+    schedule = parse_sample_spec(sampling)
+    return schedule.as_dict() if schedule is not None else None
+
+
 @dataclass
 class ProfileJob:
     """One execution shard: a picklable recipe for building a program.
@@ -57,46 +75,75 @@ class ProfileJob:
     path, registered workload, or stress-generator parameters) so jobs
     stay cheap to ship across process boundaries — compiled programs
     never need to be pickled.
+
+    ``exec_mode`` (``"interp"`` / ``"compiled"`` / ``None`` for the
+    VM default) and ``sampling`` (a serialized
+    :class:`~repro.profiler.sampling.SampleSchedule`, or ``None`` for
+    exact tracking) are part of the job recipe: the schedule is a pure
+    function of the instruction count, so a supervised retry or a
+    checkpoint resume rebuilding the job replays the identical window
+    sequence.
     """
 
     kind: str                  # "source" | "file" | "workload" | "stress"
     spec: dict = field(default_factory=dict)
     label: str = ""
     max_steps: int = DEFAULT_MAX_STEPS
+    exec_mode: str = None
+    sampling: dict = None
 
     @classmethod
     def from_source(cls, source: str, use_stdlib: bool = False,
                     label: str = "source",
-                    max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+                    max_steps: int = DEFAULT_MAX_STEPS,
+                    exec_mode: str = None, sampling=None) -> "ProfileJob":
         return cls("source", {"source": source, "use_stdlib": use_stdlib},
-                   label, max_steps)
+                   label, max_steps, exec_mode,
+                   normalize_sampling(sampling))
 
     @classmethod
     def from_file(cls, path: str, use_stdlib: bool = True,
                   label: str = None,
-                  max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+                  max_steps: int = DEFAULT_MAX_STEPS,
+                  exec_mode: str = None, sampling=None) -> "ProfileJob":
         return cls("file", {"path": path, "use_stdlib": use_stdlib},
-                   label if label is not None else path, max_steps)
+                   label if label is not None else path, max_steps,
+                   exec_mode, normalize_sampling(sampling))
 
     @classmethod
     def workload(cls, name: str, variant: str = "unopt", scale=None,
                  label: str = None,
-                 max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 exec_mode: str = None, sampling=None) -> "ProfileJob":
         return cls("workload",
                    {"name": name, "variant": variant,
                     "scale": dict(scale) if scale else None},
                    label if label is not None else f"{name}/{variant}",
-                   max_steps)
+                   max_steps, exec_mode, normalize_sampling(sampling))
 
     @classmethod
     def stress(cls, stages: int = 96, chain: int = 24, rounds: int = 3,
                seed: int = 0, label: str = None,
-               max_steps: int = DEFAULT_MAX_STEPS) -> "ProfileJob":
+               max_steps: int = DEFAULT_MAX_STEPS,
+               exec_mode: str = None, sampling=None) -> "ProfileJob":
         return cls("stress",
                    {"stages": stages, "chain": chain, "rounds": rounds,
                     "seed": seed},
                    label if label is not None else f"stress/seed{seed}",
-                   max_steps)
+                   max_steps, exec_mode, normalize_sampling(sampling))
+
+    def schedule(self):
+        """The job's :class:`SampleSchedule`, or ``None``."""
+        if self.sampling is None:
+            return None
+        from .sampling import SampleSchedule
+        return SampleSchedule.from_dict(self.sampling)
+
+    def make_vm(self, program, tracker):
+        """Build the VM for this job (runs inside the worker)."""
+        from ..vm import VM
+        return VM(program, tracer=tracker, max_steps=self.max_steps,
+                  exec_mode=self.exec_mode, sampling=self.schedule())
 
     def build(self):
         """Compile this job's program (runs inside the worker)."""
@@ -334,20 +381,21 @@ def _run_job(payload):
             tracker = CostTracker(slots=slots, phases=phases,
                                   track_cr=track_cr,
                                   track_control=track_control)
-            from ..vm import VM
-            vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+            vm = job.make_vm(program, tracker)
             run_start = time.perf_counter()
             vm.run()
             run_wall = time.perf_counter() - run_start
-            result = graph_to_dict(
-                tracker.graph,
-                meta={"label": job.label,
-                      "instructions": vm.instr_count,
-                      "output": vm.stdout(),
-                      "run_wall_s": round(run_wall, 6),
-                      "wall_s": round(
-                          time.perf_counter() - start, 6)},
-                tracker=tracker, trace=trace)
+            meta = {"label": job.label,
+                    "instructions": vm.instr_count,
+                    "output": vm.stdout(),
+                    "exec_mode": vm.exec_tier or vm.exec_mode,
+                    "run_wall_s": round(run_wall, 6),
+                    "wall_s": round(time.perf_counter() - start, 6)}
+            stats = vm.sampling_stats()
+            if stats is not None:
+                meta["sampling"] = stats
+            result = graph_to_dict(tracker.graph, meta=meta,
+                                   tracker=tracker, trace=trace)
         return result
     finally:
         if relay is not None:
@@ -372,6 +420,17 @@ class AggregateProfile:
     def outputs(self):
         """Per-shard program outputs, in job order."""
         return [meta.get("output", "") for meta in self.metas]
+
+    @property
+    def sampled(self) -> bool:
+        """True when at least one shard ran under a sampling schedule."""
+        return any(meta.get("sampling") for meta in self.metas)
+
+    @property
+    def sampling_factor(self) -> float:
+        """Campaign-wide scale for estimated Gcost frequencies."""
+        from .sampling import aggregate_factor
+        return aggregate_factor(self.metas)
 
     def conflict_ratio(self) -> float:
         return self.state.conflict_ratio(self.graph)
@@ -509,15 +568,19 @@ def profile_jobs_sequential(jobs, slots: int = 16, phases=None,
             "requires at least one ProfileJob")
     tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
                           track_control=track_control)
-    from ..vm import VM
     metas = []
     for job in jobs:
         program = job.build()
         tracker.begin_run()
-        vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+        vm = job.make_vm(program, tracker)
         vm.run()
-        metas.append({"label": job.label,
-                      "instructions": vm.instr_count,
-                      "output": vm.stdout()})
+        meta = {"label": job.label,
+                "instructions": vm.instr_count,
+                "output": vm.stdout(),
+                "exec_mode": vm.exec_tier or vm.exec_mode}
+        stats = vm.sampling_stats()
+        if stats is not None:
+            meta["sampling"] = stats
+        metas.append(meta)
     return AggregateProfile(graph=tracker.graph, state=tracker.state(),
                             metas=metas)

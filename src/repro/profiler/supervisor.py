@@ -203,8 +203,7 @@ def _run_job_salvaging(job, slots, phases, track_cr, track_control,
     program = job.build()
     tracker = CostTracker(slots=slots, phases=phases, track_cr=track_cr,
                           track_control=track_control)
-    from ..vm import VM
-    vm = VM(program, tracer=tracker, max_steps=job.max_steps)
+    vm = job.make_vm(program, tracker)
     meta = {"label": job.label}
     run_start = time.perf_counter()
     try:
@@ -214,8 +213,15 @@ def _run_job_salvaging(job, slots, phases, track_cr, track_control,
         meta["error"] = str(error)
         meta["error_type"] = type(error).__name__
     meta.update(instructions=vm.instr_count, output=vm.stdout(),
+                exec_mode=vm.exec_tier or vm.exec_mode,
                 run_wall_s=round(time.perf_counter() - run_start, 6),
                 wall_s=round(time.perf_counter() - start, 6))
+    # The window schedule is a pure function of the instruction count,
+    # so even a salvaged (fault-contained) shard's accounting is exact
+    # up to the recorded instr_count — a retry replays it identically.
+    stats = vm.sampling_stats()
+    if stats is not None:
+        meta["sampling"] = stats
     return graph_to_dict(tracker.graph, meta=meta, tracker=tracker,
                          trace=trace)
 

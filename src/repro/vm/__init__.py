@@ -1,14 +1,21 @@
-"""MiniJ virtual machine: heap, frames, natives, interpreter."""
+"""MiniJ virtual machine: heap, frames, natives, interpreter.
+
+Execution tiers: the reference interpreter loop (``exec_mode="interp"``)
+and the template-compiled dispatch tier (``exec_mode="compiled"``, the
+default — see :mod:`repro.vm.compiled`).
+"""
 
 from .errors import (VMArithmeticError, VMBoundsError, VMError, VMLimitError,
                      VMNullError, VMTypestateError)
 from .frames import Frame
 from .heap import Heap
-from .interpreter import VM, run_program
+from .interpreter import (EXEC_COMPILED, EXEC_INTERP, EXEC_MODES, VM,
+                          resolve_exec_mode, run_program)
 from .values import ArrayObject, HeapObject, default_value, render_value
 
 __all__ = [
     "VM", "run_program", "Frame", "Heap",
+    "EXEC_COMPILED", "EXEC_INTERP", "EXEC_MODES", "resolve_exec_mode",
     "ArrayObject", "HeapObject", "default_value", "render_value",
     "VMError", "VMNullError", "VMBoundsError", "VMArithmeticError",
     "VMLimitError", "VMTypestateError",

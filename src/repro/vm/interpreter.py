@@ -52,6 +52,8 @@ instruction-budget comparison.
 
 from __future__ import annotations
 
+import os
+
 from ..ir import instructions as ins
 from ..observability.telemetry import current as _current_telemetry
 from .errors import (VMArithmeticError, VMBoundsError, VMError, VMLimitError,
@@ -60,6 +62,138 @@ from .frames import Frame
 from .heap import Heap
 from .natives import lookup_native
 from .values import render_value
+
+
+# -- execution modes --------------------------------------------------------
+
+EXEC_INTERP = "interp"
+EXEC_COMPILED = "compiled"
+EXEC_MODES = (EXEC_INTERP, EXEC_COMPILED)
+
+
+def resolve_exec_mode(value=None) -> str:
+    """Resolve an exec-mode choice: explicit > $REPRO_EXEC_MODE > compiled."""
+    mode = value or os.environ.get("REPRO_EXEC_MODE") or EXEC_COMPILED
+    mode = str(mode).strip().lower()
+    if mode not in EXEC_MODES:
+        raise VMError(f"unknown exec mode {mode!r} "
+                      f"(expected one of {', '.join(EXEC_MODES)})")
+    return mode
+
+
+class RunControl:
+    """Budget / telemetry / sampling checkpoints for one VM run.
+
+    Both execution tiers fold every cold-path event into the single
+    ``count > limit`` comparison the hot loop already performs:
+    ``limit`` is the next event of interest — instruction-budget
+    exhaustion, a telemetry growth sample, or a sampling-window toggle
+    — and :meth:`fire` handles whichever is due and returns the next
+    limit.  With telemetry disabled and no sampling schedule this
+    degenerates to ``limit == max_steps`` and the loop runs the exact
+    same per-instruction work as the bare interpreter.
+
+    The compiled tier stores its per-run bindings (tracer hooks, the
+    hoisted-flag refresher) on the same object, so generated templates
+    reach everything through one ``rt`` argument.
+    """
+
+    __slots__ = ("vm", "stack", "telemetry", "max_steps", "cursor",
+                 "_tel_next", "limit", "tracer", "hooks", "traced_now")
+
+    def __init__(self, vm, stack):
+        self.vm = vm
+        self.stack = stack
+        self.telemetry = vm.telemetry
+        self.max_steps = vm.max_steps
+        # Sampling is only meaningful with a tracker attached; without
+        # one the whole run is already "untracked".
+        schedule = vm.sampling if vm.tracer is not None else None
+        self.cursor = (schedule.cursor(vm.instr_count)
+                       if schedule is not None else None)
+        self._tel_next = (vm.instr_count + self.telemetry.sample_interval
+                          if self.telemetry.enabled else None)
+        self.limit = self.max_steps
+        vm._run_control = self
+
+    def initial(self, count: int) -> int:
+        limit = self.max_steps
+        if self._tel_next is not None and self._tel_next < limit:
+            limit = self._tel_next
+        cursor = self.cursor
+        if cursor is not None and cursor.boundary < limit:
+            limit = cursor.boundary
+        self.limit = limit
+        return limit
+
+    @property
+    def window_on(self) -> bool:
+        cursor = self.cursor
+        return cursor is None or cursor.on
+
+    def fire(self, count: int, instr=None, frame=None) -> int:
+        """Handle the due event(s) at ``count`` and return the next limit."""
+        vm = self.vm
+        if count > self.max_steps:
+            vm.instr_count = count
+            raise VMLimitError(
+                f"instruction budget of {self.max_steps} exceeded",
+                instr, frame)
+        vm.instr_count = count
+        tel_next = self._tel_next
+        if tel_next is not None and count > tel_next:
+            self._tel_next = self.telemetry.vm_sample(vm, self.stack, count)
+        cursor = self.cursor
+        if cursor is not None and count > cursor.boundary:
+            was_on = cursor.on
+            while count > cursor.boundary:
+                cursor.toggle()
+            if cursor.on and not was_on:
+                self._rebuild_contexts()
+        return self.initial(count)
+
+    def on_phase(self, count: int):
+        """Phase entry: reset the sampling cycle (per-phase windows)."""
+        cursor = self.cursor
+        if cursor is not None:
+            was_on = cursor.on
+            cursor.phase_reset(count)
+            if not was_on:
+                self._rebuild_contexts()
+            self.initial(count)
+
+    def _rebuild_contexts(self):
+        """Recompute the receiver-context chain for the live stack.
+
+        During an untracked burst nobody maintains ``frame.g``: hooks
+        are off and the dispatch loops skip the per-call bookkeeping so
+        bursts run at genuinely untraced speed.  When a window opens,
+        the chain is reconstructed from the activations themselves —
+        each frame's ``this`` register still holds the receiver whose
+        allocation site extends the caller's context — so tracked
+        windows see exactly the context-annotated node identities an
+        eagerly-maintained chain would have produced.
+        """
+        tracer = self.vm.tracer
+        if tracer is None:
+            return
+        from ..profiler.context import extend_context
+        slots = getattr(tracer, "slots", 0)
+        stack = self.stack
+        if not stack:
+            return
+        g = stack[0].g
+        for frame in stack[1:]:
+            recv = frame.regs.get("this")
+            if recv is not None:
+                g = extend_context(g, recv.site)
+            frame.g = g
+            frame.dctx = (g % slots) if slots else 0
+
+    def finish(self, count: int):
+        cursor = self.cursor
+        if cursor is not None:
+            cursor.finish(count)
 
 
 def _java_div(a: int, b: int) -> int:
@@ -88,12 +222,23 @@ class VM:
     """Interpreter for finalized MiniJ programs."""
 
     def __init__(self, program, tracer=None, max_steps: int = 2_000_000_000,
-                 telemetry=None):
+                 telemetry=None, exec_mode=None, sampling=None):
         if not program.finalized:
             raise VMError("program must be finalized before execution")
         self.program = program
         self.tracer = tracer
         self.max_steps = max_steps
+        #: Execution tier: "compiled" (template-compiled dispatch, the
+        #: default) or "interp" (the reference loop below).  Programs
+        #: with shapes the templates do not cover fall back to interp
+        #: transparently; ``exec_tier`` records what actually ran.
+        self.exec_mode = resolve_exec_mode(exec_mode)
+        self.exec_tier = None
+        #: Optional burst-sampling schedule
+        #: (:class:`repro.profiler.sampling.SampleSchedule`); only
+        #: meaningful when a tracer is attached.
+        self.sampling = sampling
+        self._run_control = None
         # Observability hub (the process-wide one unless given).  The
         # default is the no-op hub with ``enabled=False``; the dispatch
         # loop guards on that one attribute, outside the loop.
@@ -120,6 +265,9 @@ class VM:
         self._phase_started_at = self.instr_count
         if self.tracer is not None:
             self.tracer.on_phase(name)
+        control = self._run_control
+        if control is not None:
+            control.on_phase(self.instr_count)
 
     def _close_phases(self):
         count = self.instr_count - self._phase_started_at
@@ -144,29 +292,54 @@ class VM:
         attached tracer's graph-so-far remains a valid partial
         profile, which the supervised profiling runtime salvages
         instead of discarding the shard.
+
+        Dispatches to the compiled tier when ``exec_mode`` allows and
+        the program's shapes are supported; otherwise runs the
+        reference interpreter loop.  Both tiers honour the same
+        containment contract and produce identical ``instr_count``,
+        output, phase windows, and tracker graphs (with sampling off).
         """
+        if self.exec_mode == EXEC_COMPILED:
+            from .compiled import run_compiled
+            if run_compiled(self):
+                return self
+        return self._run_interp()
+
+    def sampling_stats(self):
+        """Sampling meta of the last run (schedule + exact window
+        accounting), or None when no schedule was active."""
+        control = self._run_control
+        if control is None or control.cursor is None:
+            return None
+        return control.cursor.stats(self.instr_count)
+
+    def _run_interp(self) -> "VM":
         entry = self.program.entry
         frame = Frame(entry)
         stack = [frame]
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.on_entry_frame(frame)
-        max_steps = self.max_steps
         count = self.instr_count
-        # Tracking can only toggle inside a native (Sys.phase), so the
-        # flag is hoisted out of the dispatch loop and refreshed at the
-        # one opcode that can change it.
-        traced = tracer is not None and tracer.enabled
-        # Telemetry folds its sampling checkpoint into the instruction-
-        # budget comparison the loop already performs: ``limit`` is the
-        # next event of interest (budget exhaustion or growth sample),
-        # so with telemetry disabled the dispatch loop runs the exact
-        # same per-instruction work as the bare interpreter.
+        # Budget exhaustion, telemetry growth samples, and sampling-
+        # window toggles share one checkpoint: ``limit`` is the next
+        # event of interest, handled on the cold path by RunControl.
+        control = RunControl(self, stack)
         telemetry = self.telemetry
-        if telemetry.enabled:
-            limit = min(max_steps, count + telemetry.sample_interval)
-        else:
-            limit = max_steps
+        limit = control.initial(count)
+        # Tracking can only toggle inside a native (Sys.phase) or at a
+        # sampling-window boundary (a checkpoint), so the flag is
+        # hoisted out of the dispatch loop and refreshed at the places
+        # that can change it.
+        traced = tracer is not None and tracer.enabled and control.window_on
+        # Calls made inside a window while the tracker itself is phase-
+        # disabled still extend the receiver-context chain (trace_call
+        # does not fire).  Untracked bursts skip the bookkeeping
+        # entirely; RunControl rebuilds the chain when a window opens.
+        track_ctx = tracer is not None and control.cursor is not None
+        if track_ctx:
+            from ..profiler.context import extend_context
+            ctx_slots = getattr(tracer, "slots", 0)
 
         try:
             while stack:
@@ -178,16 +351,9 @@ class VM:
                 op = instr.op
                 count += 1
                 if count > limit:
-                    if count > max_steps:
-                        self.instr_count = count
-                        raise VMLimitError(
-                            f"instruction budget of {max_steps} exceeded",
-                            instr, frame)
-                    # Telemetry growth sample (only reachable when enabled:
-                    # a disabled hub leaves limit == max_steps).
-                    self.instr_count = count
-                    limit = min(max_steps,
-                                telemetry.vm_sample(self, stack, count))
+                    limit = control.fire(count, instr, frame)
+                    traced = (tracer is not None and tracer.enabled
+                              and control.window_on)
 
                 if op == ins.OP_BINOP:
                     regs[instr.dest] = self._binop(instr, regs, frame)
@@ -293,6 +459,11 @@ class VM:
                     stack.append(callee_frame)
                     if traced:
                         tracer.trace_call(instr, frame, callee_frame, recv_obj)
+                    elif track_ctx and control.window_on:
+                        g = (extend_context(frame.g, recv_obj.site)
+                             if recv_obj is not None else frame.g)
+                        callee_frame.g = g
+                        callee_frame.dctx = (g % ctx_slots) if ctx_slots else 0
 
                 elif op == ins.OP_RETURN:
                     value = regs[instr.src] if instr.src is not None else None
@@ -369,8 +540,11 @@ class VM:
                     if instr.dest is not None:
                         regs[instr.dest] = result
                     frame.pc = pc + 1
-                    # Re-check: the native may have toggled tracking (phase).
-                    traced = tracer is not None and tracer.enabled
+                    # Re-check: the native may have toggled tracking
+                    # (phase) or moved a sampling boundary (phase reset).
+                    limit = control.limit
+                    traced = (tracer is not None and tracer.enabled
+                              and control.window_on)
                     if traced:
                         tracer.trace_native(instr, frame)
 
@@ -385,13 +559,16 @@ class VM:
             # worker can salvage the tracker's graph-so-far instead of
             # discarding the shard.
             self.instr_count = count
+            control.finish(count)
             self._close_phases()
             raise
         self.instr_count = count
+        control.finish(count)
         self._close_phases()
         if telemetry.enabled:
             telemetry.vm_finish(self)
         self.finished = True
+        self.exec_tier = EXEC_INTERP
         return self
 
     # -- helpers ----------------------------------------------------------------
@@ -555,9 +732,9 @@ def _as_str(value) -> str:
 
 
 def run_program(program, tracer=None, max_steps: int = 2_000_000_000,
-                telemetry=None) -> VM:
+                telemetry=None, exec_mode=None, sampling=None) -> VM:
     """Convenience: build a VM, run it, and return it."""
     vm = VM(program, tracer=tracer, max_steps=max_steps,
-            telemetry=telemetry)
+            telemetry=telemetry, exec_mode=exec_mode, sampling=sampling)
     vm.run()
     return vm

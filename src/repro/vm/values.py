@@ -80,4 +80,16 @@ def render_value(value) -> str:
         return "true"
     if value is False:
         return "false"
-    return str(value)
+    try:
+        return str(value)
+    except ValueError:
+        # MiniJ ints are arbitrary precision; CPython's int->str digit
+        # guard (sys.int_info.default_max_str_digits) must not abort a
+        # legitimate print of a very large value.
+        import sys
+        limit = sys.get_int_max_str_digits()
+        sys.set_int_max_str_digits(0)
+        try:
+            return str(value)
+        finally:
+            sys.set_int_max_str_digits(limit)

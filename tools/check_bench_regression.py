@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Bench-regression guard: re-measure the quick matrix, compare ratios.
+
+Re-runs the reduced (``--quick``) exec-tier/sampling matrix from
+``benchmarks/bench_matrix.py`` and compares its *ratio* metrics
+against the ``quick_baseline`` section of the committed
+``BENCH_PR7.json``.  Ratios (tracked-vs-untraced, compiled-vs-interp)
+are host-independent in a way absolute ops/sec are not, and the
+committed quick baseline was measured at the same workload sizes the
+guard re-measures, so schedule-warmup regimes match.
+
+A metric regresses when the fresh ratio drops more than ``TOLERANCE``
+(default 10%) below the committed one:
+
+* ``compiled_vs_interp_untraced`` — the compiled tier's win over the
+  interpreter (guards the closure templates);
+* ``tracked_s16_vs_untraced`` — exact cost-tracked throughput
+  relative to untraced, i.e. the inverse of the tracking overhead
+  (guards the fused tracker calls);
+* ``tracked_sampled_vs_untraced`` — the adaptive-burst-sampling gate
+  ratio (guards the untraced-burst fast path).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_regression.py \
+        [--baseline BENCH_PR7.json] [--fresh FRESH.json] \
+        [--tolerance 0.10]
+
+With ``--fresh`` the guard compares a pre-generated quick record
+instead of measuring (useful for testing the comparison logic).
+Exit status 0 when no metric regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+sys.path.insert(0, str(REPO / "src"))
+
+TOLERANCE = 0.10
+
+
+def ratios(record: dict) -> dict:
+    """The guarded ratio metrics of one (quick-size) matrix record."""
+    tiers = record["exec_tiers"]
+    gate = record["sampled_gate"]
+    return {
+        "compiled_vs_interp_untraced":
+            tiers["compiled_vs_interp_untraced"],
+        "tracked_s16_vs_untraced":
+            1.0 / tiers["tracking_overhead_compiled"],
+        "tracked_sampled_vs_untraced":
+            gate["tracked_sampled_vs_untraced"],
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Regressed metrics as ``(name, committed, measured)`` tuples."""
+    committed = ratios(baseline)
+    measured = ratios(fresh)
+    return [(name, committed[name], measured[name])
+            for name in committed
+            if measured[name] < committed[name] * (1.0 - tolerance)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh quick-matrix ratios against the "
+                    "committed BENCH_PR7.json baseline")
+    parser.add_argument("--baseline",
+                        default=str(REPO / "BENCH_PR7.json"),
+                        help="committed record (default: repo root)")
+    parser.add_argument("--fresh", default=None,
+                        help="pre-generated quick record; measured "
+                             "fresh when omitted")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional drop (default 0.10)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        committed = json.load(fh)
+    baseline = committed.get("quick_baseline")
+    if baseline is None:
+        print(f"error: {args.baseline} has no quick_baseline section "
+              f"(regenerate it with `make bench-json`)", file=sys.stderr)
+        return 1
+
+    if args.fresh is not None:
+        with open(args.fresh) as fh:
+            fresh = json.load(fh)
+        if "quick_baseline" in fresh:
+            fresh = fresh["quick_baseline"]
+    else:
+        from bench_matrix import build_record
+        fresh = build_record(quick=True)
+
+    regressed = compare(baseline, fresh, args.tolerance)
+    bad = {name for name, _, _ in regressed}
+    measured = ratios(fresh)
+    for name, was in sorted(ratios(baseline).items()):
+        marker = "REGRESSED" if name in bad else "ok"
+        print(f"{name}: committed {was:.3f} measured "
+              f"{measured[name]:.3f} [{marker}]")
+    if regressed:
+        print(f"\n{len(regressed)} metric(s) dropped more than "
+              f"{args.tolerance:.0%} below the committed baseline",
+              file=sys.stderr)
+        return 1
+    print("\nno bench regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
