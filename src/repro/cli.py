@@ -16,6 +16,12 @@
     python -m repro report gcost.json program.mj    # Markdown bloat report
     python -m repro report gcost.json program.mj --format json
     python -m repro trace run.jsonl                 # critical-path report
+    python -m repro serve --socket /tmp/repro.sock  # resident daemon
+    python -m repro profile program.mj --jobs 2 --runs 4 \\
+        --push /tmp/repro.sock --tenant app         # stream shards to it
+    python -m repro client query report program.mj \\
+        --addr /tmp/repro.sock --tenant app         # query merged state
+    python -m repro client status --addr /tmp/repro.sock
     python -m repro workloads --list
     python -m repro workloads bloat_like --small
     python -m repro table1 --small
@@ -253,9 +259,21 @@ def _cmd_profile(args):
                    heap=vm.heap, instr_count=vm.instr_count,
                    branch_outcomes=tracker.branch_outcomes,
                    return_nodes=tracker.return_nodes)
+    if raw_freq is not None and (args.save_graph or args.push):
+        # Saved/pushed profiles always carry raw sampled counts so
+        # they stay mergeable with other shards.
+        tracker.graph.freq = raw_freq
+    if args.push:
+        from .profiler.serialize import graph_to_dict
+        meta = {"label": "run0",
+                "instructions": vm.instr_count,
+                "output": vm.stdout(),
+                "exec_mode": vm.exec_tier}
+        if sampling_stats is not None:
+            meta["sampling"] = sampling_stats
+        shard = graph_to_dict(tracker.graph, meta=meta, tracker=tracker)
+        _push_shards(args.push, args.tenant, [(0, shard)])
     if args.save_graph:
-        if raw_freq is not None:
-            tracker.graph.freq = raw_freq
         meta = {"instructions": vm.instr_count,
                 "slots": args.slots,
                 "output": vm.stdout(),
@@ -268,6 +286,31 @@ def _cmd_profile(args):
                    tracker=tracker)
         print(f"graph written to {args.save_graph}")
     return 0
+
+
+def _push_shards(addr, tenant, indexed_shards) -> None:
+    """Stream already-serialized shards to a resident daemon.
+
+    Push failures warn and stop pushing; they never fail the profile
+    run that produced the shards (the local reports already printed).
+    """
+    from .service import ServiceClient, ShardPusher
+    try:
+        client = ServiceClient(addr)
+    except (ConnectionError, OSError) as error:
+        print(f"repro: warning: cannot reach daemon at {addr!r} "
+              f"({error}); shards stay local", file=sys.stderr)
+        return
+    try:
+        pusher = ShardPusher(client, tenant)
+        for index, shard in indexed_shards:
+            pusher(index, shard)
+        pusher.flush()
+    finally:
+        client.close()
+    if pusher.error is None:
+        print(f"push: {pusher.pushed} shard(s) -> {addr} "
+              f"(tenant {tenant!r})")
 
 
 def _profile_parallel(args, runs: int):
@@ -289,13 +332,32 @@ def _profile_parallel(args, runs: int):
     policy = ShardPolicy(timeout_s=args.shard_timeout,
                          max_retries=args.max_retries,
                          strict=args.strict)
+    pusher = push_client = None
+    if args.push:
+        from .service import ServiceClient, ShardPusher
+        try:
+            push_client = ServiceClient(args.push)
+            pusher = ShardPusher(push_client, args.tenant)
+        except (ConnectionError, OSError) as error:
+            print(f"repro: warning: cannot reach daemon at "
+                  f"{args.push!r} ({error}); shards stay local",
+                  file=sys.stderr)
     profiler = SupervisedProfiler(workers=args.jobs, slots=args.slots,
                                   phases=set(args.phases) if args.phases
                                   else None,
                                   policy=policy,
                                   checkpoint=args.resume,
-                                  fault_plan=FaultPlan.from_env())
-    run = profiler.profile(jobs)
+                                  fault_plan=FaultPlan.from_env(),
+                                  on_shard=pusher)
+    try:
+        run = profiler.profile(jobs)
+    finally:
+        if pusher is not None:
+            pusher.flush()
+            push_client.close()
+    if pusher is not None and pusher.error is None:
+        print(f"push: {pusher.pushed} shard(s) -> {args.push} "
+              f"(tenant {args.tenant!r})")
     report = run.report
     if run.profile is None:
         print("no shard survived; nothing to report:", file=sys.stderr)
@@ -524,6 +586,133 @@ def _small_scale():
     return merged
 
 
+def cmd_serve(args):
+    with _telemetry_scope(args.telemetry):
+        return _cmd_serve(args)
+
+
+async def _serve_until_shutdown(daemon):
+    import asyncio
+    import signal
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, daemon.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            break
+    await daemon.run()
+
+
+def _cmd_serve(args):
+    """Run the resident analysis daemon (docs/SERVICE.md)."""
+    import asyncio
+    import tempfile
+
+    from .service import AnalysisDaemon, TenantRegistry
+    if not args.socket and not args.tcp:
+        print("repro: serve needs --socket PATH and/or --tcp HOST:PORT",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    tcp = None
+    if args.tcp:
+        host, sep, port = args.tcp.rpartition(":")
+        if not sep or not port.isdigit():
+            print(f"repro: bad --tcp {args.tcp!r} (want HOST:PORT)",
+                  file=sys.stderr)
+            return EXIT_BAD_INPUT
+        tcp = (host or "127.0.0.1", int(port))
+    spill_dir = args.spill_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    registry = TenantRegistry(max_resident=args.max_tenants,
+                              spill_dir=spill_dir)
+    daemon = AnalysisDaemon(registry, socket_path=args.socket, tcp=tcp,
+                            max_frame=args.max_frame_mb * 1024 * 1024)
+    endpoints = [f"unix:{args.socket}"] if args.socket else []
+    if tcp:
+        endpoints.append(f"tcp:{tcp[0]}:{tcp[1]}")
+    print(f"serving on {' and '.join(endpoints)} "
+          f"(max {args.max_tenants} resident tenants, "
+          f"spill dir {spill_dir})", file=sys.stderr)
+    try:
+        asyncio.run(_serve_until_shutdown(daemon))
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"repro: cannot serve on "
+              f"{' and '.join(endpoints)}: {error}", file=sys.stderr)
+        return EXIT_RUNTIME
+    status = registry.status()
+    print(f"daemon stopped: {status['pushes']} push(es), "
+          f"{status['queries']} query(ies), "
+          f"{status['evictions']} eviction(s); "
+          f"tenant state spilled to {spill_dir}", file=sys.stderr)
+    return EXIT_OK
+
+
+def cmd_client(args):
+    """One request against a running daemon (push/query/status/...)."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+    # Local inputs are read before connecting so their errors are not
+    # confused with transport errors — connecting to a missing unix
+    # socket also raises FileNotFoundError.
+    shard = program = None
+    try:
+        if args.action == "push":
+            with open(args.graph) as handle:
+                shard = json.load(handle)
+            if not isinstance(shard, dict):
+                print(f"repro: {args.graph!r} is not a profile "
+                      f"document", file=sys.stderr)
+                return EXIT_BAD_INPUT
+        elif args.action == "query" and args.file is not None:
+            with open(args.file) as handle:
+                program = {"source": handle.read(),
+                           "use_stdlib": not args.no_stdlib}
+    except FileNotFoundError as error:
+        print(f"repro: cannot open {error.filename!r}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except json.JSONDecodeError as error:
+        print(f"repro: {args.graph!r} is not JSON ({error})",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
+    try:
+        with ServiceClient(args.addr) as client:
+            if args.action == "push":
+                ack = client.push(args.tenant, shard)
+                print(f"pushed {args.graph} -> tenant "
+                      f"{ack['tenant']!r}: {ack['shards']} shard(s) "
+                      f"folded, {ack['nodes']} nodes / "
+                      f"{ack['edges']} edges")
+            elif args.action == "query":
+                response = client.query(args.tenant, args.kind,
+                                        program=program, top=args.top)
+                text = json.dumps(response["result"], indent=2)
+                if args.out:
+                    with open(args.out, "w") as handle:
+                        handle.write(text)
+                    print(f"result written to {args.out}")
+                else:
+                    print(text)
+            elif args.action == "status":
+                response = client.status(args.tenant)
+                print(json.dumps(response["status"], indent=2))
+            elif args.action == "ping":
+                response = client.ping()
+                print(f"ok: daemon up {response.get('uptime_s', 0.0)}s")
+            else:  # shutdown
+                client.shutdown()
+                print("daemon shutting down")
+    except ServiceError as error:
+        print(f"repro: daemon refused: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except (ConnectionError, OSError) as error:
+        print(f"repro: cannot reach daemon at {args.addr!r} ({error})",
+              file=sys.stderr)
+        return EXIT_RUNTIME
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -603,6 +792,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=2,
                    help="re-runs allowed per shard beyond the first "
                         "attempt (default 2)")
+    p.add_argument("--push", metavar="ADDR",
+                   help="stream completed shards to a resident "
+                        "analysis daemon (unix:PATH, tcp:HOST:PORT, "
+                        "or a bare socket path; see docs/SERVICE.md)")
+    p.add_argument("--tenant", default="default",
+                   help="daemon tenant the pushed shards fold into "
+                        "(default 'default')")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("analyze",
@@ -649,6 +845,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the report to PATH instead of stdout")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("serve",
+                       help="run the resident analysis daemon "
+                            "(profiling-as-a-service)")
+    p.add_argument("--socket", metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="TCP endpoint to listen on (may be combined "
+                        "with --socket)")
+    p.add_argument("--max-tenants", type=int, default=64,
+                   help="tenants kept resident before LRU spill "
+                        "(default 64)")
+    p.add_argument("--spill-dir", metavar="DIR",
+                   help="directory for evicted-tenant spill files "
+                        "(default: a fresh temp dir; a fixed dir "
+                        "makes tenant state survive clean restarts)")
+    p.add_argument("--max-frame-mb", type=int, default=64,
+                   help="largest accepted wire frame in MiB "
+                        "(default 64)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write service telemetry (JSONL events) to "
+                        "PATH")
+    p.set_defaults(func=cmd_serve)
+
+    from .service.protocol import QUERY_KINDS
+
+    p = sub.add_parser("client",
+                       help="talk to a running analysis daemon")
+    csub = p.add_subparsers(dest="action", required=True)
+
+    def add_addr(cp):
+        cp.add_argument("--addr", required=True, metavar="ADDR",
+                        help="daemon address: unix:PATH, "
+                             "tcp:HOST:PORT, or a bare socket path")
+
+    cp = csub.add_parser("push",
+                         help="push a saved profile as one shard")
+    cp.add_argument("graph", help="JSON file from profile --save-graph")
+    add_addr(cp)
+    cp.add_argument("--tenant", default="default",
+                    help="tenant to fold the shard into "
+                         "(default 'default')")
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("query",
+                         help="query a tenant's merged profile")
+    cp.add_argument("kind", choices=QUERY_KINDS,
+                    help="what to compute from the merged graph")
+    cp.add_argument("file", nargs="?",
+                    help="MiniJ source, required by report/rac/rab "
+                         "(site names)")
+    add_addr(cp)
+    cp.add_argument("--tenant", default="default",
+                    help="tenant to query (default 'default')")
+    cp.add_argument("--top", type=int, default=10,
+                    help="rows per ranked section (default 10)")
+    cp.add_argument("--no-stdlib", action="store_true",
+                    help="the profiled program was compiled without "
+                         "the MiniJ stdlib")
+    cp.add_argument("--out", metavar="PATH",
+                    help="write the JSON result to PATH instead of "
+                         "stdout")
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("status", help="daemon or tenant status")
+    add_addr(cp)
+    cp.add_argument("--tenant", default=None,
+                    help="show one tenant instead of the whole "
+                         "daemon")
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("ping", help="liveness check")
+    add_addr(cp)
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("shutdown",
+                         help="stop the daemon (spills all tenants)")
+    add_addr(cp)
+    cp.set_defaults(func=cmd_client)
 
     p = sub.add_parser("workloads", help="list or run suite workloads")
     p.add_argument("name", nargs="?")

@@ -16,8 +16,8 @@ from .graph import (CONTEXTLESS, ELM, EFFECT_ALLOC, EFFECT_LOAD,
                     F_HEAP_WRITE, F_NATIVE, F_PREDICATE, CSRGraph,
                     DependenceGraph)
 from .parallel import (AggregateProfile, ParallelProfiler, ProfileJob,
-                       canonical_form, merge_graphs, normalize_sampling,
-                       profile_jobs_sequential)
+                       canonical_form, fold_graph, merge_graphs,
+                       normalize_sampling, profile_jobs_sequential)
 from .sampling import (DEFAULT_SPEC, SampleCursor, SampleSchedule,
                        aggregate_factor, apply_sampling_scale,
                        parse_sample_spec)
@@ -44,7 +44,8 @@ __all__ = [
     "load_graph_with_meta", "load_profile", "tracker_state_from_dict",
     "salvage_profile", "SalvageReport", "content_checksum",
     "ParallelProfiler", "ProfileJob", "AggregateProfile", "merge_graphs",
-    "profile_jobs_sequential", "canonical_form", "normalize_sampling",
+    "fold_graph", "profile_jobs_sequential", "canonical_form",
+    "normalize_sampling",
     "DEFAULT_SPEC", "SampleSchedule", "SampleCursor", "parse_sample_spec",
     "aggregate_factor", "apply_sampling_scale",
     "SupervisedProfiler", "SupervisedRun", "ShardPolicy", "ShardResult",

@@ -219,51 +219,80 @@ def merge_graphs(graphs, states=None):
                 f"need exactly one state per graph "
                 f"(got {len(states)} states for {len(graphs)} graphs)")
     merged = DependenceGraph(slots=slots)
+    merged_state = TrackerState() if states is not None else None
+    for index, src in enumerate(graphs):
+        fold_graph(merged, src, merged_state,
+                   states[index] if states is not None else None)
+    return merged if merged_state is None else (merged, merged_state)
+
+
+def fold_graph(merged, src, merged_state=None, src_state=None):
+    """Fold one shard graph (and optionally its state) into ``merged``,
+    in place.
+
+    This is the single step of :func:`merge_graphs`, exposed so an
+    accumulator that receives shards one at a time — the resident
+    analysis daemon's per-tenant registries (:mod:`repro.service`) —
+    can grow its merged graph incrementally at O(shard) cost per fold
+    instead of re-merging the whole history.  Folding shards one by
+    one through this function is bit-for-bit identical (node numbering
+    included) to one :func:`merge_graphs` call over the same list.
+
+    ``merged_state`` and ``src_state`` must be given together;
+    a slots mismatch raises
+    :class:`~repro.profiler.errors.ProfileInputError`.
+    """
+    if src.slots != merged.slots:
+        raise ProfileInputError(
+            f"cannot merge graphs with different context domains "
+            f"(slots {merged.slots} vs {src.slots})")
+    if (merged_state is None) != (src_state is None):
+        raise ProfileInputError(
+            "fold_graph needs both states or neither (folding a "
+            "stateless shard into a stateful merge would silently "
+            "drop context sets)")
     ids = merged._ids
     node_keys = merged.node_keys
     freq = merged.freq
     flags = merged.flags
     preds = merged.preds
     succs = merged.succs
-    merged_state = TrackerState() if states is not None else None
-    for index, src in enumerate(graphs):
-        remap = []
-        append = remap.append
-        for nid, key in enumerate(src.node_keys):
-            mid = ids.get(key)
-            if mid is None:
-                mid = len(node_keys)
-                ids[key] = mid
-                node_keys.append(key)
-                freq.append(src.freq[nid])
-                flags.append(src.flags[nid])
-                preds.append(set())
-                succs.append(set())
-            else:
-                freq[mid] += src.freq[nid]
-                flags[mid] |= src.flags[nid]
-            append(mid)
-        add_edge = merged.add_edge
-        for nid, out in enumerate(src.succs):
-            mid = remap[nid]
-            for dst in out:
-                add_edge(mid, remap[dst])
-        for nid, effect in src.effects.items():
-            merged.effects[remap[nid]] = effect
-        for store, alloc in src.ref_edges:
-            merged.ref_edges.add((remap[store], remap[alloc]))
-        # Allocation keys are (alloc_iid, context_slot) — abstract-
-        # domain values, not node ids — so points_to needs no remap.
-        for base, fields in src.points_to.items():
-            merged_fields = merged.points_to.setdefault(base, {})
-            for fname, targets in fields.items():
-                merged_fields.setdefault(fname, set()).update(targets)
-        for nid, cpreds in src.control_deps.items():
-            merged.control_deps.setdefault(remap[nid], set()).update(
-                remap[p] for p in cpreds)
-        if merged_state is not None:
-            _merge_state(merged_state, states[index], remap)
-    return merged if merged_state is None else (merged, merged_state)
+    remap = []
+    append = remap.append
+    for nid, key in enumerate(src.node_keys):
+        mid = ids.get(key)
+        if mid is None:
+            mid = len(node_keys)
+            ids[key] = mid
+            node_keys.append(key)
+            freq.append(src.freq[nid])
+            flags.append(src.flags[nid])
+            preds.append(set())
+            succs.append(set())
+        else:
+            freq[mid] += src.freq[nid]
+            flags[mid] |= src.flags[nid]
+        append(mid)
+    add_edge = merged.add_edge
+    for nid, out in enumerate(src.succs):
+        mid = remap[nid]
+        for dst in out:
+            add_edge(mid, remap[dst])
+    for nid, effect in src.effects.items():
+        merged.effects[remap[nid]] = effect
+    for store, alloc in src.ref_edges:
+        merged.ref_edges.add((remap[store], remap[alloc]))
+    # Allocation keys are (alloc_iid, context_slot) — abstract-
+    # domain values, not node ids — so points_to needs no remap.
+    for base, fields in src.points_to.items():
+        merged_fields = merged.points_to.setdefault(base, {})
+        for fname, targets in fields.items():
+            merged_fields.setdefault(fname, set()).update(targets)
+    for nid, cpreds in src.control_deps.items():
+        merged.control_deps.setdefault(remap[nid], set()).update(
+            remap[p] for p in cpreds)
+    if merged_state is not None:
+        _merge_state(merged_state, src_state, remap)
 
 
 def _merge_state(dst: TrackerState, src: TrackerState, remap):
@@ -443,17 +472,27 @@ class ParallelProfiler:
     the deterministic baseline the scaling benchmark measures against.
     The default start method is ``fork`` where available (cheap on
     Linux; workers inherit ``sys.path``), falling back to ``spawn``.
+
+    ``on_shard`` is an optional ``callback(index, shard_dict)`` fired
+    once per completed shard, in job order, with the serialized v2
+    profile dict — the hook the service push client
+    (:class:`repro.service.ShardPusher`) attaches to stream shards to
+    a resident daemon.  Exceptions from the callback abort the run;
+    callbacks that talk to unreliable peers must swallow their own
+    errors.
     """
 
     def __init__(self, workers: int = None, slots: int = 16,
                  phases=None, track_cr: bool = True,
-                 track_control: bool = False, start_method: str = None):
+                 track_control: bool = False, start_method: str = None,
+                 on_shard=None):
         self.workers = workers
         self.slots = slots
         self.phases = frozenset(phases) if phases is not None else None
         self.track_cr = track_cr
         self.track_control = track_control
         self.start_method = start_method
+        self.on_shard = on_shard
 
     def _context(self):
         method = self.start_method
@@ -539,6 +578,9 @@ class ParallelProfiler:
                         "dur", fields["wall_s"])
                     fields["span"] = span_event.get("span_id")
                 telemetry.event("worker", shard=index, **fields)
+        if self.on_shard is not None:
+            for index, shard in enumerate(shards):
+                self.on_shard(index, shard)
         with telemetry.span("parallel.merge", shards=len(shards)):
             graphs = [graph_from_dict(shard) for shard in shards]
             states = [tracker_state_from_dict(shard) for shard in shards]

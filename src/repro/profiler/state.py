@@ -74,3 +74,15 @@ class TrackerState:
         self._cr_upto = extend_cr_groups(self._cr_groups, self.node_gs,
                                          graph.node_keys, self._cr_upto)
         return average_conflict_ratio(self._cr_groups)
+
+    def invalidate_cr_cache(self):
+        """Drop the incremental CR regrouping; the next
+        :meth:`conflict_ratio` call refolds from scratch.
+
+        Needed after a fold *into* this state
+        (:func:`~repro.profiler.parallel.fold_graph`): a fold may
+        replace a formerly-``None`` ``node_gs`` entry below the cached
+        watermark with a fresh set the grouping has no reference to.
+        """
+        self._cr_groups = {}
+        self._cr_upto = 0

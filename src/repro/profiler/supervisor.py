@@ -343,7 +343,7 @@ class SupervisedProfiler:
                  phases=None, track_cr: bool = True,
                  track_control: bool = False, start_method: str = None,
                  policy: ShardPolicy = None, checkpoint=None,
-                 fault_plan=None):
+                 fault_plan=None, on_shard=None):
         self.workers = workers
         self.slots = slots
         self.phases = frozenset(phases) if phases is not None else None
@@ -353,6 +353,13 @@ class SupervisedProfiler:
         self.policy = policy if policy is not None else ShardPolicy()
         self.checkpoint = checkpoint
         self.fault_plan = fault_plan
+        #: ``callback(index, shard_dict)`` fired as each shard is
+        #: accepted — streaming, the moment the supervision loop takes
+        #: a worker's result (so a service push overlaps the remaining
+        #: map work), and once per resumed checkpoint shard up front.
+        #: Failed shards never fire; a degraded run pushes survivors
+        #: only.  Exceptions from the callback abort the run.
+        self.on_shard = on_shard
 
     def _context(self):
         method = self.start_method
@@ -398,6 +405,9 @@ class SupervisedProfiler:
                 telemetry.event("checkpoint.resume",
                                 path=str(self.checkpoint),
                                 shards=len(done))
+                if self.on_shard is not None:
+                    for index in sorted(done):
+                        self.on_shard(index, done[index])
         report = RunReport()
         workers = self.workers
         if workers is None:
@@ -576,6 +586,8 @@ class SupervisedProfiler:
         meta = payload["meta"]
         partial = bool(meta.get("partial"))
         done[task.index] = payload
+        if self.on_shard is not None:
+            self.on_shard(task.index, payload)
         results[task.index] = ShardResult(
             task.index, task.job.label,
             "salvaged" if partial else "ok",

@@ -1,0 +1,184 @@
+"""Synchronous service client: address parsing, requests, shard push.
+
+:class:`ServiceClient` is the blocking counterpart of the daemon —
+one socket, one frame out, one frame in per request — used by the
+``client`` CLI subcommand, the ``profile --push`` hook, and the test
+suite.  :class:`ShardPusher` adapts it to the profiler's ``on_shard``
+callback: shards complete out of order under supervision, but fold
+order decides the merged node numbering, so the pusher buffers and
+releases only the contiguous index prefix — the daemon then folds in
+job order and its graph stays bit-for-bit the batch merge.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+
+from .protocol import (DEFAULT_MAX_FRAME, HEADER_SIZE, FrameError,
+                       ServiceError, decode_payload, encode_frame,
+                       parse_header, raise_for_error)
+
+
+def parse_addr(addr: str):
+    """Parse a service address into ``("unix", path)`` or
+    ``("tcp", (host, port))``.
+
+    Accepted spellings: ``unix:/path``, ``tcp:host:port``,
+    ``host:port`` (when the text before the colon has no ``/``), and
+    a bare filesystem path.
+    """
+    if addr.startswith("unix:"):
+        return ("unix", addr[len("unix:"):])
+    if addr.startswith("tcp:"):
+        rest = addr[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(f"bad TCP address {addr!r} "
+                             f"(want tcp:host:port)")
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    host, sep, port = addr.rpartition(":")
+    if sep and port.isdigit() and "/" not in host:
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    return ("unix", addr)
+
+
+def _recv_exactly(sock, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError(
+                "connection closed by the daemon mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock, max_frame: int = DEFAULT_MAX_FRAME) -> dict:
+    """Blocking read of one complete frame from a socket."""
+    header = _recv_exactly(sock, HEADER_SIZE)
+    length, digest = parse_header(header, max_frame)
+    payload = _recv_exactly(sock, length)
+    return decode_payload(payload, digest)
+
+
+class ServiceClient:
+    """One blocking connection to the daemon; a context manager.
+
+    Raises :class:`ConnectionError`/`OSError` for transport trouble
+    and :class:`~repro.service.protocol.ServiceError` when the daemon
+    answers with an error frame.
+    """
+
+    def __init__(self, addr: str, timeout: float = 30.0,
+                 max_frame: int = DEFAULT_MAX_FRAME):
+        self.addr = addr
+        self.max_frame = max_frame
+        family, target = parse_addr(addr)
+        if family == "unix":
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(target)
+        else:
+            self._sock = socket.create_connection(target,
+                                                  timeout=timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def request(self, message: dict) -> dict:
+        """One round trip; returns the ``ok`` response dict."""
+        if self._sock is None:
+            raise ConnectionError("client is closed")
+        self._sock.sendall(encode_frame(message))
+        response = read_frame_sync(self._sock, self.max_frame)
+        return raise_for_error(response)
+
+    # -- the message vocabulary ---------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"type": "ping"})
+
+    def push(self, tenant: str, shard: dict) -> dict:
+        return self.request({"type": "push", "tenant": tenant,
+                             "shard": shard})
+
+    def query(self, tenant: str, kind: str, program=None,
+              top: int = 10) -> dict:
+        message = {"type": "query", "tenant": tenant, "kind": kind,
+                   "top": top}
+        if program is not None:
+            message["program"] = program
+        return self.request(message)
+
+    def status(self, tenant: str = None) -> dict:
+        message = {"type": "status"}
+        if tenant is not None:
+            message["tenant"] = tenant
+        return self.request(message)
+
+    def shutdown(self) -> dict:
+        return self.request({"type": "shutdown"})
+
+
+class ShardPusher:
+    """``on_shard`` adapter streaming shards to a daemon, in job order.
+
+    Shards arriving out of order (supervised workers finish when they
+    finish) are buffered until the contiguous prefix extends; a
+    degraded run's survivors past a permanently-failed index are
+    released by :meth:`flush`, still sorted.  A push failure disables
+    the pusher with a warning instead of raising — losing the
+    streaming copy must never kill the profiling run that produced
+    the shards.
+    """
+
+    def __init__(self, client: ServiceClient, tenant: str):
+        self.client = client
+        self.tenant = tenant
+        self.pushed = 0
+        self.error = None
+        self._next = 0
+        self._buffer = {}
+
+    def __call__(self, index: int, shard: dict) -> None:
+        if self.error is not None:
+            return
+        self._buffer[index] = shard
+        while self._next in self._buffer:
+            if not self._push(self._buffer.pop(self._next)):
+                return
+            self._next += 1
+
+    def flush(self) -> None:
+        """Push any shards stranded past a gap (degraded runs)."""
+        for index in sorted(self._buffer):
+            if self.error is not None:
+                break
+            self._push(self._buffer[index])
+        self._buffer.clear()
+
+    def _push(self, shard: dict) -> bool:
+        try:
+            self.client.push(self.tenant, shard)
+        except (ServiceError, FrameError, ConnectionError,
+                OSError) as error:
+            self.error = error
+            print(f"repro: warning: shard push to {self.client.addr} "
+                  f"failed ({error}); remaining shards stay local",
+                  file=sys.stderr)
+            return False
+        self.pushed += 1
+        return True

@@ -22,5 +22,5 @@ def test_checker_flags_missing_names(monkeypatch):
         import check_docs
     finally:
         sys.path.remove(str(TOOLS))
-    monkeypatch.setattr(check_docs, "documented_text", lambda: "")
+    monkeypatch.setattr(check_docs, "_read", lambda files: "")
     assert check_docs.main() == 1

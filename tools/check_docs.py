@@ -1,17 +1,27 @@
 #!/usr/bin/env python
-"""Docs-consistency check: the CLI surface must appear in the docs.
+"""Docs-consistency check: the CLI + service surface must be documented.
 
-Introspects ``repro.cli.build_parser()`` for every subcommand and
-every option string, then requires each to be mentioned somewhere in
-the documentation set (``README.md`` + ``docs/*.md``).  New flags
-that ship without documentation fail CI.
+Three cross-checks, all driven by introspection so the docs cannot
+drift from the code:
+
+1. Every subcommand (nested ones included, e.g. ``client push``) and
+   every option string of ``repro.cli.build_parser()`` must be
+   mentioned somewhere in the documentation set (``README.md`` +
+   ``docs/*.md``).
+2. Options of the service-facing subcommands (``serve``, ``client``)
+   must additionally appear in the service docs proper
+   (``docs/SERVICE.md`` or ``docs/API.md``) — a service flag
+   documented only in passing elsewhere still fails.
+3. ``docs/SERVICE.md`` must name every wire message type, query kind,
+   and error code that ``repro.service.protocol`` defines (codes by
+   symbolic name *and* numeric value).
 
 Usage::
 
     PYTHONPATH=src python tools/check_docs.py
 
-Exit status 0 when every subcommand/flag is documented, 1 otherwise
-(missing names are listed on stderr).
+Exit status 0 when everything is covered, 1 otherwise (missing names
+are listed on stderr).
 """
 
 from __future__ import annotations
@@ -27,53 +37,121 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = ("README.md",) + tuple(
     str(path.relative_to(REPO)) for path in sorted((REPO / "docs").glob("*.md")))
 
+#: Files that count as the service documentation proper (check 2).
+SERVICE_DOC_FILES = ("docs/SERVICE.md", "docs/API.md")
+
+#: Subcommands whose options must appear in SERVICE_DOC_FILES.
+SERVICE_SUBCOMMANDS = ("serve", "client")
+
 #: Option strings that need no documentation (argparse built-ins).
 IGNORED_OPTIONS = {"-h", "--help"}
 
 
+def _walk_subparsers(parser, prefix=""):
+    """Yield ``(dotted_name, subparser)`` for every (nested) subcommand."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                dotted = f"{prefix}{name}"
+                yield dotted, subparser
+                yield from _walk_subparsers(subparser, f"{dotted} ")
+
+
 def cli_surface():
-    """(subcommands, options): every name build_parser() exposes."""
+    """(subcommands, options, service_options) of ``build_parser()``.
+
+    ``subcommands`` are space-joined paths (``"client push"``);
+    ``service_options`` maps each serve/client option to the
+    subcommand path that owns it.
+    """
     from repro.cli import build_parser
     parser = build_parser()
     subcommands = []
     options = set()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            for name, subparser in action.choices.items():
-                subcommands.append(name)
-                for sub_action in subparser._actions:
-                    options.update(sub_action.option_strings)
-    return subcommands, sorted(options - IGNORED_OPTIONS)
+    service_options = {}
+    for dotted, subparser in _walk_subparsers(parser):
+        subcommands.append(dotted)
+        for sub_action in subparser._actions:
+            for option in sub_action.option_strings:
+                if option in IGNORED_OPTIONS:
+                    continue
+                options.add(option)
+                if dotted.split()[0] in SERVICE_SUBCOMMANDS:
+                    service_options.setdefault(option, dotted)
+    return subcommands, sorted(options), service_options
 
 
-def documented_text():
+def _read(files):
     chunks = []
-    for rel in DOC_FILES:
+    for rel in files:
         path = REPO / rel
         if path.exists():
             chunks.append(path.read_text())
     return "\n".join(chunks)
 
 
-def main() -> int:
-    subcommands, options = cli_surface()
-    text = documented_text()
-    missing = []
+def check_cli(missing):
+    subcommands, options, service_options = cli_surface()
+    text = _read(DOC_FILES)
+    service_text = _read(SERVICE_DOC_FILES)
     for name in subcommands:
-        # Subcommands must appear as an invocation, e.g. "repro profile".
+        # Subcommands must appear as an invocation, e.g. "repro profile"
+        # or "repro client push".
         if not re.search(rf"repro {re.escape(name)}\b", text):
             missing.append(f"subcommand: {name}")
     for option in options:
         if option not in text:
             missing.append(f"option: {option}")
+    for option, dotted in sorted(service_options.items()):
+        if option not in service_text:
+            missing.append(
+                f"service option: {option} (of `repro {dotted}`, "
+                f"absent from {' / '.join(SERVICE_DOC_FILES)})")
+    return len(subcommands), len(options)
+
+
+def check_service_protocol(missing):
+    """SERVICE.md must name the whole wire vocabulary of protocol.py."""
+    from repro.service import protocol
+    path = REPO / "docs" / "SERVICE.md"
+    if not path.exists():
+        missing.append("file: docs/SERVICE.md (service protocol "
+                       "documentation)")
+        return 0
+    text = path.read_text()
+    checked = 0
+    for kind in protocol.MESSAGE_TYPES:
+        checked += 1
+        if not re.search(rf"`{re.escape(kind)}`", text):
+            missing.append(f"SERVICE.md message type: `{kind}`")
+    for kind in protocol.QUERY_KINDS:
+        checked += 1
+        if not re.search(rf"`{re.escape(kind)}`", text):
+            missing.append(f"SERVICE.md query kind: `{kind}`")
+    for name, code in protocol.ERROR_CODES.items():
+        checked += 1
+        if name not in text:
+            missing.append(f"SERVICE.md error code name: {name}")
+        elif not re.search(rf"\b{re.escape(name)}\b[^\n]*\b{code}\b|"
+                           rf"\b{code}\b[^\n]*\b{re.escape(name)}\b",
+                           text):
+            missing.append(f"SERVICE.md error code value: {name} "
+                           f"must be listed with its code {code}")
+    return checked
+
+
+def main() -> int:
+    missing = []
+    n_sub, n_opt = check_cli(missing)
+    n_proto = check_service_protocol(missing)
     if missing:
-        print("CLI surface missing from the docs "
+        print("surface missing from the docs "
               f"({', '.join(DOC_FILES)}):", file=sys.stderr)
         for entry in missing:
             print(f"  {entry}", file=sys.stderr)
         return 1
-    print(f"docs cover {len(subcommands)} subcommands and "
-          f"{len(options)} options")
+    print(f"docs cover {n_sub} subcommands, {n_opt} options, and "
+          f"{n_proto} service protocol names")
     return 0
 
 
