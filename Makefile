@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-small bench-json bench-json-pr2 \
-	bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-regression \
-	examples table1 casestudies clean
+	bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-json-pr10 \
+	bench-regression examples table1 casestudies clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,13 @@ bench-json-pr2:
 # the perf gates CI's regression guard compares against.
 bench-json-pr7:
 	$(PYTHON) benchmarks/bench_matrix.py
+
+# Service metrics-overhead guard (BENCH_PR10.json at the repo root):
+# daemon ingest throughput with the live MetricsRegistry on vs off
+# over a real unix-socket session; gate <=5% overhead
+# (docs/OBSERVABILITY.md).
+bench-json-pr10:
+	$(PYTHON) benchmarks/bench_matrix.py --metrics
 
 # The canonical machine-readable record is the PR7 matrix now; the
 # earlier per-PR records stay available under their own targets.

@@ -18,6 +18,13 @@ accountable for:
   reachability-derived metrics (IPD/IPP) are not estimable from
   sampled graphs because untracked bursts sever the shadow heap, so
   the record shows the (large) bias instead of hiding it.
+* **metrics overhead** (PR 10, ``make bench-json-pr10`` →
+  ``BENCH_PR10.json``) — daemon ingest throughput with the live
+  :class:`~repro.observability.metrics.MetricsRegistry` enabled vs
+  the null registry, over a real unix-socket push/query session.
+  Gate: ``<= 5%`` overhead.  (The *disabled* side must cost exactly
+  zero extra work — that contract is structural and enforced by
+  ``tests/test_service.py``, not timed here.)
 
 All timing on this host is noisy (single core, 30%+ run-to-run
 spread), so every ratio is computed from *interleaved best-of-N*
@@ -62,6 +69,13 @@ TOP_SITES = 20
 
 QUICK = {"tier": {"stages": 96, "chain": 24, "rounds": 60},
          "gate": {"stages": 96, "chain": 24, "rounds": 600}}
+
+#: Requests per metrics-overhead session (push-heavy, the ingest mix
+#: the ≤5% gate is about) and the gate itself.
+METRICS_PUSHES = 240
+METRICS_QUERIES = 40
+METRICS_QUICK = {"pushes": 60, "queries": 10}
+METRICS_THRESHOLD = 0.05
 
 
 def _interleaved(configs, repeats=REPEATS):
@@ -224,6 +238,89 @@ def estimation_accuracy(stress, spec):
     }
 
 
+def metrics_overhead(pushes=METRICS_PUSHES, queries=METRICS_QUERIES,
+                     repeats=5):
+    """Daemon request throughput with metrics on vs off (best-of-N).
+
+    Each measured session is a real daemon on a unix socket fed the
+    same push/query mix by a blocking client; only the request loop is
+    timed (daemon startup/teardown excluded).  On/off sessions are
+    interleaved per repeat so host noise degrades both sides together.
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.observability.metrics import MetricsRegistry
+    from repro.profiler import graph_to_dict
+    from repro.service import (AnalysisDaemon, ServiceClient,
+                               TenantRegistry)
+
+    program = build_stress(stages=8, chain=4, rounds=2)
+    tracker = CostTracker(slots=16)
+    vm = _run(program, exec_mode=EXEC_COMPILED, tracer=tracker)
+    shard = graph_to_dict(tracker.graph,
+                          meta={"label": "bench",
+                                "instructions": vm.instr_count,
+                                "output": vm.stdout(),
+                                "exec_mode": vm.exec_tier},
+                          tracker=tracker)
+
+    def session(metrics):
+        with tempfile.TemporaryDirectory() as tmp:
+            addr = os.path.join(tmp, "svc.sock")
+            daemon = AnalysisDaemon(TenantRegistry(), socket_path=addr,
+                                    metrics=metrics)
+            thread = threading.Thread(
+                target=lambda: asyncio.run(daemon.run()), daemon=True)
+            thread.start()
+            deadline = time.time() + 10.0
+            while True:
+                try:
+                    with ServiceClient(addr, timeout=2.0) as client:
+                        client.ping()
+                    break
+                except (ConnectionError, OSError):
+                    if time.time() > deadline:
+                        raise RuntimeError("bench daemon never came up")
+                    time.sleep(0.01)
+            try:
+                with ServiceClient(addr, timeout=30.0) as client:
+                    start = time.perf_counter()
+                    for _ in range(pushes):
+                        client.push("bench", shard)
+                    for _ in range(queries):
+                        client.query("bench", "summary")
+                    elapsed = time.perf_counter() - start
+            finally:
+                daemon.request_shutdown()
+                thread.join(timeout=10.0)
+            return elapsed
+
+    session(MetricsRegistry())          # warmup (tiers, allocator)
+    best = {"metrics_on": float("inf"), "metrics_off": float("inf")}
+    for _ in range(repeats):
+        best["metrics_on"] = min(best["metrics_on"],
+                                 session(MetricsRegistry()))
+        best["metrics_off"] = min(best["metrics_off"], session(None))
+    requests = pushes + queries
+    rps = {name: requests / seconds for name, seconds in best.items()}
+    overhead = best["metrics_on"] / best["metrics_off"] - 1.0
+    return {
+        "pushes": pushes,
+        "queries": queries,
+        "repeats": repeats,
+        "requests_per_sec": {name: round(v) for name, v in rps.items()},
+        "overhead": round(overhead, 4),
+        "threshold": METRICS_THRESHOLD,
+        "pass": overhead <= METRICS_THRESHOLD,
+        "note": ("overhead of the *enabled* MetricsRegistry on the "
+                 "daemon request loop; the disabled registry "
+                 "(NULL_METRICS) does exactly zero work by the "
+                 "structural guard in tests/test_service.py"),
+    }
+
+
 def build_record(quick=False):
     tier = QUICK["tier"] if quick else TIER_STRESS
     gate = QUICK["gate"] if quick else GATE_STRESS
@@ -240,6 +337,8 @@ def build_record(quick=False):
         "sampled_gate": sampled_gate(gate),
         "estimation_accuracy": estimation_accuracy(ACCURACY_STRESS,
                                                    ACCURACY_SPEC),
+        "metrics_overhead":
+            metrics_overhead(**(METRICS_QUICK if quick else {})),
     }
     if not quick:
         # Re-measure the two timing sections at the quick sizes too:
@@ -268,15 +367,50 @@ def build_record(quick=False):
             "pass": record["sampled_gate"]["tracked_sampled_vs_untraced"]
             >= 0.8,
         },
+        "metrics_overhead": {
+            "value": record["metrics_overhead"]["overhead"],
+            "threshold": METRICS_THRESHOLD,
+            "pass": record["metrics_overhead"]["pass"],
+        },
+    }
+    return record
+
+
+def build_metrics_record():
+    """The standalone PR-10 record (``BENCH_PR10.json``): just the
+    service metrics-overhead guard, cheap enough for every push."""
+    record = {
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics_overhead": metrics_overhead(),
+    }
+    record["gates"] = {
+        "metrics_overhead": {
+            "value": record["metrics_overhead"]["overhead"],
+            "threshold": METRICS_THRESHOLD,
+            "pass": record["metrics_overhead"]["pass"],
+        },
     }
     return record
 
 
 def main(argv):
-    args = [a for a in argv[1:] if a != "--quick"]
-    quick = "--quick" in argv[1:]
-    out_path = args[0] if args else os.path.join(_ROOT, "BENCH_PR7.json")
-    record = build_record(quick=quick)
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    quick = "--quick" in flags
+    if "--metrics" in flags:
+        out_path = args[0] if args else os.path.join(_ROOT,
+                                                     "BENCH_PR10.json")
+        record = build_metrics_record()
+    else:
+        out_path = args[0] if args else os.path.join(_ROOT,
+                                                     "BENCH_PR7.json")
+        record = build_record(quick=quick)
     with open(out_path, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")

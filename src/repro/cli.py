@@ -22,6 +22,8 @@
     python -m repro client query report program.mj \\
         --addr /tmp/repro.sock --tenant app         # query merged state
     python -m repro client status --addr /tmp/repro.sock
+    python -m repro client stats --addr /tmp/repro.sock   # live metrics
+    python -m repro client health --addr /tmp/repro.sock
     python -m repro workloads --list
     python -m repro workloads bloat_like --small
     python -m repro table1 --small
@@ -55,24 +57,73 @@ EXIT_BAD_INPUT = 2
 EXIT_DEGRADED = 3
 
 
+def _bad_input_error(error) -> bool:
+    """Errors that mean the *input* was bad (exit code 2), not that
+    execution faulted — they trigger no flight-recorder dump."""
+    from .profiler.errors import CheckpointError, ProfileFormatError
+    return isinstance(error, (CompileError, FileNotFoundError,
+                              ProfileFormatError, CheckpointError))
+
+
+def _flight_path(args):
+    """The flight-recorder dump path of a command, or None when the
+    recorder is disabled (``--no-flight-record``)."""
+    if getattr(args, "no_flight_record", False):
+        return None
+    configured = getattr(args, "flight_record", None)
+    if configured:
+        return configured
+    from .observability.flightrecorder import DEFAULT_DUMP_PATH
+    return DEFAULT_DUMP_PATH
+
+
 @contextmanager
-def _telemetry_scope(path):
-    """Install a JSONL-backed telemetry hub for the duration of one
-    command (``--telemetry PATH``); a no-op when ``path`` is falsy, so
-    the default run keeps the zero-cost :data:`~repro.observability.NULL`
-    hub."""
-    if not path:
+def _telemetry_scope(path, flight=None):
+    """Install a telemetry hub for the duration of one command.
+
+    ``path`` (``--telemetry PATH``) adds a JSONL sink; ``flight`` (a
+    dump path) adds the always-on flight recorder, recording the same
+    schema-v2 events into a bounded in-memory ring that is dumped to
+    ``flight`` only on a fault, ``SIGUSR1``, or daemon shutdown — so
+    a clean run with the recorder alone writes no file at all.  With
+    both falsy this is a no-op and the command keeps the zero-cost
+    :data:`~repro.observability.NULL` hub.
+    """
+    if not path and not flight:
         yield None
         return
-    from .observability import JsonlSink, Telemetry, set_current
-    hub = Telemetry(sink=JsonlSink(path))
+    from .observability import (FlightRecorder, JsonlSink, RecorderSink,
+                                Telemetry, arm_signal, dump_current,
+                                install, set_current)
+    sink = JsonlSink(path) if path else None
+    recorder = previous_recorder = None
+    if flight:
+        recorder = FlightRecorder(flight)
+        sink = RecorderSink(recorder, sink)
+        previous_recorder = install(recorder)
+        arm_signal()
+    hub = Telemetry(sink=sink)
     previous = set_current(hub)
     try:
         yield hub
+    except BaseException as error:
+        # Postmortem: anything escaping the command (VM errors, strict
+        # shard failures, fault-injected kills, ^C) dumps the ring
+        # before the hub is torn down.  Bad *input* (unparseable
+        # files, compile errors) is not a fault worth a dump.
+        if recorder is not None and not _bad_input_error(error):
+            dumped = dump_current(f"error:{type(error).__name__}")
+            if dumped:
+                print(f"flight recorder dumped to {dumped}",
+                      file=sys.stderr)
+        raise
     finally:
         set_current(previous)
         hub.close()
-        print(f"telemetry written to {path}", file=sys.stderr)
+        if recorder is not None:
+            install(previous_recorder)
+        if path:
+            print(f"telemetry written to {path}", file=sys.stderr)
 
 
 def _load_program(path: str, use_stdlib: bool):
@@ -180,7 +231,7 @@ def cmd_disasm(args):
 
 
 def cmd_profile(args):
-    with _telemetry_scope(args.telemetry):
+    with _telemetry_scope(args.telemetry, _flight_path(args)):
         return _cmd_profile(args)
 
 
@@ -587,7 +638,7 @@ def _small_scale():
 
 
 def cmd_serve(args):
-    with _telemetry_scope(args.telemetry):
+    with _telemetry_scope(args.telemetry, _flight_path(args)):
         return _cmd_serve(args)
 
 
@@ -624,8 +675,11 @@ def _cmd_serve(args):
     spill_dir = args.spill_dir or tempfile.mkdtemp(prefix="repro-serve-")
     registry = TenantRegistry(max_resident=args.max_tenants,
                               spill_dir=spill_dir)
+    from .observability import NULL_METRICS, MetricsRegistry
+    metrics = NULL_METRICS if args.no_metrics else MetricsRegistry()
     daemon = AnalysisDaemon(registry, socket_path=args.socket, tcp=tcp,
-                            max_frame=args.max_frame_mb * 1024 * 1024)
+                            max_frame=args.max_frame_mb * 1024 * 1024,
+                            metrics=metrics)
     endpoints = [f"unix:{args.socket}"] if args.socket else []
     if tcp:
         endpoints.append(f"tcp:{tcp[0]}:{tcp[1]}")
@@ -645,7 +699,58 @@ def _cmd_serve(args):
           f"{status['queries']} query(ies), "
           f"{status['evictions']} eviction(s); "
           f"tenant state spilled to {spill_dir}", file=sys.stderr)
+    from .observability import dump_current
+    dumped = dump_current("shutdown")
+    if dumped:
+        print(f"flight recorder dumped to {dumped}", file=sys.stderr)
     return EXIT_OK
+
+
+def _format_stats(stats: dict, top: int = 10) -> str:
+    """``repro client stats`` text rendering: a ``top``-style view of
+    the daemon — headline counters, the busiest tenants by resident
+    graph memory, and the request/query latency distributions."""
+    daemon = stats["daemon"]
+    registry = stats["registry"]
+    out = [
+        f"daemon: up {daemon['uptime_s']}s, "
+        f"{daemon['connections']} connection(s), "
+        f"{daemon['frame_errors']} frame error(s), "
+        f"metrics {'on' if daemon['metrics_enabled'] else 'off'}",
+        f"registry: {registry['resident']}/{registry['max_resident']} "
+        f"tenants resident ({registry['spilled']} spilled), "
+        f"{registry['pushes']} push(es), {registry['queries']} "
+        f"query(ies), {registry['evictions']} eviction(s), "
+        f"{registry['reloads']} reload(s)",
+        "",
+    ]
+    tenants = sorted(stats["tenants"],
+                     key=lambda t: (-t["memory_bytes"], t["tenant"]))
+    if tenants:
+        out.append(f"{'tenant':<20} {'mem':>10} {'nodes':>8} "
+                   f"{'folds':>6} {'queries':>8} {'spills':>7} "
+                   f"{'reloads':>8}")
+        for tenant in tenants[:top]:
+            out.append(f"{tenant['tenant']:<20} "
+                       f"{tenant['memory_bytes']:>10} "
+                       f"{tenant['nodes']:>8} {tenant['shards']:>6} "
+                       f"{tenant['queries']:>8} {tenant['spills']:>7} "
+                       f"{tenant['reloads']:>8}")
+        if len(tenants) > top:
+            out.append(f"... {len(tenants) - top} more tenant(s)")
+        out.append("")
+    histograms = stats["metrics"].get("histograms", {})
+    if histograms:
+        out.append(f"{'latency':<28} {'count':>7} {'p50':>10} "
+                   f"{'p95':>10} {'p99':>10}")
+        for name, hist in sorted(histograms.items()):
+            out.append(f"{name:<28} {hist['count']:>7} "
+                       f"{hist['p50_s'] * 1000:>9.3f}ms "
+                       f"{hist['p95_s'] * 1000:>9.3f}ms "
+                       f"{hist['p99_s'] * 1000:>9.3f}ms")
+    elif not daemon["metrics_enabled"]:
+        out.append("(no latency histograms: daemon runs --no-metrics)")
+    return "\n".join(out)
 
 
 def cmd_client(args):
@@ -676,8 +781,9 @@ def cmd_client(args):
         print(f"repro: {args.graph!r} is not JSON ({error})",
               file=sys.stderr)
         return EXIT_BAD_INPUT
+    exit_code = EXIT_OK
     try:
-        with ServiceClient(args.addr) as client:
+        with ServiceClient(args.addr, timeout=args.timeout) as client:
             if args.action == "push":
                 ack = client.push(args.tenant, shard)
                 print(f"pushed {args.graph} -> tenant "
@@ -697,6 +803,28 @@ def cmd_client(args):
             elif args.action == "status":
                 response = client.status(args.tenant)
                 print(json.dumps(response["status"], indent=2))
+            elif args.action == "stats":
+                stats = client.stats()["stats"]
+                if args.format == "json":
+                    print(json.dumps(stats, indent=2, sort_keys=True))
+                else:
+                    print(_format_stats(stats, top=args.top))
+            elif args.action == "health":
+                health = client.health()["health"]
+                if args.format == "json":
+                    print(json.dumps(health, indent=2, sort_keys=True))
+                else:
+                    age = health.get("last_ingest_age_s")
+                    print(f"{health['status']}: daemon up "
+                          f"{health['uptime_s']}s, "
+                          f"{health['tenants_resident']} tenant(s) "
+                          f"resident, {health['pushes']} push(es), "
+                          f"{health['queries']} query(ies), "
+                          f"{health['frame_errors']} frame error(s)"
+                          + (f", last ingest {age}s ago"
+                             if age is not None else ""))
+                if health["status"] != "ok":
+                    exit_code = EXIT_DEGRADED
             elif args.action == "ping":
                 response = client.ping()
                 print(f"ok: daemon up {response.get('uptime_s', 0.0)}s")
@@ -706,11 +834,19 @@ def cmd_client(args):
     except ServiceError as error:
         print(f"repro: daemon refused: {error}", file=sys.stderr)
         return EXIT_BAD_INPUT
+    except ValueError as error:
+        # parse_addr rejects malformed --addr values; that is bad
+        # input, not a crash.
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
     except (ConnectionError, OSError) as error:
-        print(f"repro: cannot reach daemon at {args.addr!r} ({error})",
+        reason = type(error).__name__ \
+            if isinstance(error, TimeoutError) else error
+        print(f"repro: cannot reach daemon at {args.addr!r} ({reason}); "
+              f"is it running? start one with `repro serve`",
               file=sys.stderr)
         return EXIT_RUNTIME
-    return 0
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -732,6 +868,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution tier: 'compiled' (template-"
                             "compiled dispatch, the default) or "
                             "'interp' (reference interpreter loop)")
+
+    def add_flight_record(p):
+        p.add_argument("--flight-record", metavar="PATH",
+                       help="flight-recorder dump file (default "
+                            "repro-flight.jsonl); the in-memory ring "
+                            "of recent telemetry events is written "
+                            "there only on a fault, SIGUSR1, or "
+                            "daemon shutdown")
+        p.add_argument("--no-flight-record", action="store_true",
+                       help="disable the always-on flight recorder")
 
     p = sub.add_parser("run", help="execute a MiniJ program")
     p.add_argument("file")
@@ -774,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: one per job)")
     p.add_argument("--telemetry", metavar="PATH",
                    help="write run telemetry (JSONL events) to PATH")
+    add_flight_record(p)
     p.add_argument("--self-profile", action="store_true",
                    help="also time an untracked run and report the "
                         "tracker overhead ratio")
@@ -867,6 +1014,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", metavar="PATH",
                    help="write service telemetry (JSONL events) to "
                         "PATH")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="disable the live metrics registry (stats "
+                        "queries then return no counters or latency "
+                        "histograms; zero per-request overhead)")
+    add_flight_record(p)
     p.set_defaults(func=cmd_serve)
 
     from .service.protocol import QUERY_KINDS
@@ -879,6 +1031,10 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--addr", required=True, metavar="ADDR",
                         help="daemon address: unix:PATH, "
                              "tcp:HOST:PORT, or a bare socket path")
+        cp.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="socket timeout for the request "
+                             "(default 30)")
 
     cp = csub.add_parser("push",
                          help="push a saved profile as one shard")
@@ -914,6 +1070,27 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--tenant", default=None,
                     help="show one tenant instead of the whole "
                          "daemon")
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("stats",
+                         help="live daemon metrics: busiest tenants, "
+                              "request/query latency histograms")
+    add_addr(cp)
+    cp.add_argument("--format", choices=("text", "json"),
+                    default="text",
+                    help="text (top-style tables, the default) or "
+                         "the raw JSON snapshot")
+    cp.add_argument("--top", type=int, default=10,
+                    help="tenants listed in the text rendering "
+                         "(default 10)")
+    cp.set_defaults(func=cmd_client)
+
+    cp = csub.add_parser("health",
+                         help="one-line daemon health summary")
+    add_addr(cp)
+    cp.add_argument("--format", choices=("text", "json"),
+                    default="text",
+                    help="one-line summary (default) or JSON")
     cp.set_defaults(func=cmd_client)
 
     cp = csub.add_parser("ping", help="liveness check")

@@ -1,6 +1,6 @@
 """Observability layer: run telemetry, tracing, self-profiling, reports.
 
-Four pieces (see ``docs/OBSERVABILITY.md``):
+Six pieces (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`~repro.observability.telemetry` — the :class:`Telemetry` hub
   (counters / gauges / timers, span tracing, JSONL sink) threaded
@@ -11,6 +11,13 @@ Four pieces (see ``docs/OBSERVABILITY.md``):
 * :mod:`~repro.observability.trace` — the trace model: rebuild the
   cross-process span tree from a JSONL stream, attribute wall time
   per phase, compute the critical path (``python -m repro trace``);
+* :mod:`~repro.observability.metrics` — live service metrics: the
+  :class:`MetricsRegistry` of counters / gauges / fixed-bucket latency
+  histograms the daemon snapshots for ``stats``/``health`` queries;
+  zero-cost when disabled (:data:`NULL_METRICS`), stable JSON schema;
+* :mod:`~repro.observability.flightrecorder` — the always-on bounded
+  ring of recent telemetry events, dumped atomically to a JSONL file
+  on faults / ``SIGUSR1`` / shutdown and replayable by ``repro trace``;
 * :mod:`~repro.observability.overhead` — self-profiling, reporting
   tracker overhead as a ratio of untracked execution (the Table-1
   overhead-column analogue);
@@ -19,6 +26,12 @@ Four pieces (see ``docs/OBSERVABILITY.md``):
 """
 
 from .bloatreport import bloat_report_data, render_bloat_report
+from .flightrecorder import (DEFAULT_CAPACITY, FlightRecorder,
+                             RecorderSink, arm_signal, current_recorder,
+                             dump_current, install)
+from .metrics import (LATENCY_BUCKETS, METRICS_SCHEMA, NULL_METRICS,
+                      Histogram, MetricsRegistry, NullMetrics,
+                      normalize_snapshot, stable_json)
 from .overhead import (OverheadReport, measure_overhead,
                        overhead_from_dict, time_untracked)
 from .telemetry import (DEFAULT_SAMPLE_INTERVAL, NULL, SCHEMA_VERSION,
@@ -38,6 +51,11 @@ __all__ = [
     "opcode_class_counts", "slot_collision_counts", "emit_tracker_stats",
     "Span", "Trace", "load_trace", "trace_from_events",
     "format_trace_report", "trace_to_dict",
+    "MetricsRegistry", "NullMetrics", "NULL_METRICS", "Histogram",
+    "LATENCY_BUCKETS", "METRICS_SCHEMA", "normalize_snapshot",
+    "stable_json",
+    "FlightRecorder", "RecorderSink", "DEFAULT_CAPACITY", "install",
+    "current_recorder", "dump_current", "arm_signal",
     "OverheadReport", "measure_overhead", "overhead_from_dict",
     "time_untracked",
     "render_bloat_report", "bloat_report_data",

@@ -604,6 +604,12 @@ class SupervisedProfiler:
     def _failure(self, task, kind, message, pending, results, report,
                  policy, telemetry):
         """Classify a failed attempt; retry with backoff or give up."""
+        # Postmortem first: the ring holds the attempt's relayed
+        # events (its span.start, its last samples), which is exactly
+        # what a crash/timeout investigation needs.  No-op without an
+        # installed recorder; never raises.
+        from ..observability.flightrecorder import dump_current
+        dump_current(f"shard {task.index} {kind}")
         if task.attempt < policy.max_retries:
             delay = backoff_delay(policy, task.index, task.attempt)
             telemetry.event("supervisor.retry", shard=task.index,

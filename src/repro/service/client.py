@@ -129,6 +129,12 @@ class ServiceClient:
             message["tenant"] = tenant
         return self.request(message)
 
+    def stats(self) -> dict:
+        return self.request({"type": "stats"})
+
+    def health(self) -> dict:
+        return self.request({"type": "health"})
+
     def shutdown(self) -> dict:
         return self.request({"type": "shutdown"})
 

@@ -30,6 +30,7 @@ import asyncio
 import os
 import time
 
+from ..observability.metrics import METRICS_SCHEMA, NULL_METRICS
 from ..observability.telemetry import current as _current_telemetry
 from .protocol import (DEFAULT_MAX_FRAME, E_BAD_MESSAGE, E_NO_PROGRAM,
                        E_QUERY_FAILED, FrameError, MESSAGE_TYPES,
@@ -49,11 +50,17 @@ class AnalysisDaemon:
     """
 
     def __init__(self, registry: TenantRegistry, socket_path=None,
-                 tcp=None, max_frame: int = DEFAULT_MAX_FRAME):
+                 tcp=None, max_frame: int = DEFAULT_MAX_FRAME,
+                 metrics=None):
         self.registry = registry
         self.socket_path = socket_path
         self.tcp = tcp
         self.max_frame = max_frame
+        #: Live metrics registry (``stats``/``health`` queries read
+        #: it).  Defaults to the disabled :data:`NULL_METRICS`; the
+        #: request loop guards on ``metrics.enabled`` so a disabled
+        #: daemon does exactly zero extra per-request work.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.started = time.monotonic()
         self.connections = 0
         self.frame_errors = 0
@@ -91,6 +98,13 @@ class AnalysisDaemon:
             if self.socket_path and os.path.exists(self.socket_path):
                 os.unlink(self.socket_path)
             self.registry.spill_all()
+            # Flush telemetry *before* the event loop exits: the last
+            # batch of service.ingest/service.query events and the
+            # counter summaries must reach the JSONL sink here, not
+            # depend on the interpreter's atexit pass.
+            hub = _current_telemetry()
+            if hub.enabled:
+                hub.flush()
 
     def request_shutdown(self) -> None:
         """Ask the serving loop to exit (safe from any thread,
@@ -114,6 +128,8 @@ class AnalysisDaemon:
                     # Best-effort error frame, then drop: the stream
                     # is not trustworthy past a framing violation.
                     self.frame_errors += 1
+                    if self.metrics.enabled:
+                        self.metrics.inc("service.frame_errors")
                     _current_telemetry().event("service.frame_error",
                                                error=str(error))
                     await self._send(writer,
@@ -123,7 +139,22 @@ class AnalysisDaemon:
                 except (asyncio.IncompleteReadError, ConnectionError,
                         OSError):
                     break           # client left; nothing was applied
-                response = self._handle(message)
+                metrics = self.metrics
+                if metrics.enabled:
+                    kind = message.get("type")
+                    start = time.perf_counter()
+                    response = self._handle(message)
+                    metrics.observe(
+                        "service.request"
+                        f"[{kind if isinstance(kind, str) else '?'}]",
+                        time.perf_counter() - start)
+                    metrics.inc("service.requests")
+                    if response.get("type") == "error":
+                        metrics.inc("service.errors")
+                        metrics.inc(
+                            f"service.errors[{response.get('name')}]")
+                else:
+                    response = self._handle(message)
                 await self._send(writer, response)
                 if message.get("type") == "shutdown" \
                         and response.get("type") == "ok":
@@ -156,6 +187,10 @@ class AnalysisDaemon:
                 return self._handle_query(message)
             if kind == "status":
                 return self._handle_status(message)
+            if kind == "stats":
+                return ok_response(stats=self.stats())
+            if kind == "health":
+                return ok_response(health=self.health())
             if kind == "shutdown":
                 return ok_response(
                     spilled=bool(self.registry.spill_dir))
@@ -194,6 +229,66 @@ class AnalysisDaemon:
         tenant = self.registry.tenant(name)
         return ok_response(status=tenant.describe())
 
+    # -- live metrics ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``stats`` payload: daemon + registry counters, per-
+        tenant resource gauges, and the metrics snapshot.
+
+        Stable schema (see ``docs/OBSERVABILITY.md``): every wall-
+        clock-dependent field is suffixed ``_s``/``_unix``, so
+        :func:`~repro.observability.metrics.normalize_snapshot` makes
+        two identical-load responses byte-for-byte comparable.
+        """
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.gauge("service.tenants_resident",
+                          self.registry.resident_count())
+            metrics.gauge("service.connections", self.connections)
+        status = self.registry.status()
+        return {
+            "schema": METRICS_SCHEMA,
+            "daemon": {
+                "uptime_s": self._uptime(),
+                "connections": self.connections,
+                "frame_errors": self.frame_errors,
+                "metrics_enabled": metrics.enabled,
+            },
+            "registry": {
+                "resident": status["resident"],
+                "spilled": len(status["spilled_files"]),
+                "max_resident": status["max_resident"],
+                "pushes": status["pushes"],
+                "queries": status["queries"],
+                "evictions": status["evictions"],
+                "reloads": status["reloads"],
+            },
+            "tenants": status["tenants"],
+            "metrics": metrics.snapshot(),
+        }
+
+    def health(self) -> dict:
+        """The ``health`` payload: one small liveness document.
+
+        ``status`` is ``"degraded"`` once the daemon has seen frame
+        errors (a client speaking garbage at it), ``"ok"`` otherwise;
+        reachability itself is the primary signal — an unreachable
+        daemon never answers at all.
+        """
+        registry = self.registry
+        last_ingest = registry.last_ingest_unix
+        return {
+            "status": "degraded" if self.frame_errors else "ok",
+            "uptime_s": self._uptime(),
+            "tenants_resident": registry.resident_count(),
+            "pushes": registry.pushes,
+            "queries": registry.queries,
+            "frame_errors": self.frame_errors,
+            "metrics_enabled": self.metrics.enabled,
+            "last_ingest_age_s": (round(time.time() - last_ingest, 3)
+                                  if last_ingest is not None else None),
+        }
+
     # -- queries -------------------------------------------------------------
 
     def _handle_query(self, message: dict) -> dict:
@@ -210,6 +305,8 @@ class AnalysisDaemon:
                                f"top must be a positive integer, "
                                f"got {top!r}")
         hub = _current_telemetry()
+        metrics = self.metrics
+        start = time.perf_counter() if metrics.enabled else 0.0
         # The span field is named `query`, not `kind` — span metadata
         # keys must not collide with Telemetry.event's own parameters.
         with hub.span("service.query", tenant=name, query=kind):
@@ -217,6 +314,9 @@ class AnalysisDaemon:
             self.registry.count_query(tenant)
             result = self._answer(tenant, kind, top,
                                   message.get("program"))
+        if metrics.enabled:
+            metrics.observe(f"service.query[{kind}]",
+                            time.perf_counter() - start)
         return ok_response(tenant=tenant.name, kind=kind, result=result)
 
     def _answer(self, tenant, kind: str, top: int, program_spec):

@@ -44,8 +44,11 @@ HEADER_SIZE = HEADER.size
 #: well under 10 MiB; anything larger than this is damage or abuse).
 DEFAULT_MAX_FRAME = 64 * 1024 * 1024
 
-#: Request message types the daemon accepts.
-MESSAGE_TYPES = ("push", "query", "status", "ping", "shutdown")
+#: Request message types the daemon accepts.  ``stats`` returns the
+#: live metrics snapshot (``docs/OBSERVABILITY.md`` documents its
+#: schema); ``health`` a small liveness/degradation summary.
+MESSAGE_TYPES = ("push", "query", "status", "ping", "shutdown",
+                 "stats", "health")
 
 #: ``query`` kinds (``report`` is the full ``report --format json``
 #: document; ``rac``/``rab`` are its field tables; ``bloat`` the

@@ -35,6 +35,7 @@ import itertools
 import json
 import os
 import re
+import time
 
 from ..observability.telemetry import current as _current_telemetry
 from ..profiler.checkpoint import (CheckpointError, load_checkpoint,
@@ -106,7 +107,8 @@ class TenantState:
 
     __slots__ = ("name", "slots", "graph", "state", "shards", "runs",
                  "instructions", "output", "exec_mode", "traces",
-                 "queries", "last_used")
+                 "queries", "last_used", "spills", "reloads",
+                 "last_ingest_unix")
 
     def __init__(self, name: str):
         self.name = name
@@ -121,6 +123,9 @@ class TenantState:
         self.traces = []
         self.queries = 0
         self.last_used = 0
+        self.spills = 0
+        self.reloads = 0
+        self.last_ingest_unix = None
 
     # -- ingest --------------------------------------------------------------
 
@@ -169,6 +174,7 @@ class TenantState:
             self.state.invalidate_cr_cache()
         meta = shard.get("meta") or {}
         self.shards += 1
+        self.last_ingest_unix = round(time.time(), 6)
         self.runs += int(meta.get("runs") or 1)
         self.instructions += int(meta.get("instructions") or 0)
         if self.output is None:
@@ -197,7 +203,13 @@ class TenantState:
         return meta
 
     def describe(self) -> dict:
-        """The per-tenant ``status`` payload."""
+        """The per-tenant ``status``/``stats`` payload.
+
+        ``memory_bytes`` is the CSR-aware graph estimate of
+        :meth:`~repro.profiler.graph.DependenceGraph.memory_bytes` —
+        the same accounting the ``summary`` query serves; ``shards``
+        is the tenant's fold count (one fold per accepted shard).
+        """
         graph = self.graph
         return {
             "tenant": self.name,
@@ -207,8 +219,13 @@ class TenantState:
             "instructions": self.instructions,
             "nodes": graph.num_nodes if graph is not None else 0,
             "edges": graph.num_edges if graph is not None else 0,
+            "memory_bytes": (graph.memory_bytes()
+                             if graph is not None else 0),
             "queries": self.queries,
             "traces": len(self.traces),
+            "spills": self.spills,
+            "reloads": self.reloads,
+            "last_ingest_unix": self.last_ingest_unix,
         }
 
     # -- spill round-trip ----------------------------------------------------
@@ -218,7 +235,10 @@ class TenantState:
         meta = self.report_meta()
         meta["service"] = {"tenant": self.name, "shards": self.shards,
                            "runs": self.runs, "queries": self.queries,
-                           "traces": self.traces}
+                           "traces": self.traces,
+                           "spills": self.spills,
+                           "reloads": self.reloads,
+                           "last_ingest_unix": self.last_ingest_unix}
         return graph_to_dict(self.graph, meta=meta, tracker=self.state)
 
     @classmethod
@@ -240,6 +260,9 @@ class TenantState:
         tenant.exec_mode = meta.get("exec_mode")
         tenant.traces = list(service.get("traces") or [])
         tenant.queries = int(service.get("queries") or 0)
+        tenant.spills = int(service.get("spills") or 0)
+        tenant.reloads = int(service.get("reloads") or 0)
+        tenant.last_ingest_unix = service.get("last_ingest_unix")
         return tenant
 
 
@@ -267,6 +290,7 @@ class TenantRegistry:
         self.queries = 0
         self.evictions = 0
         self.reloads = 0
+        self.last_ingest_unix = None
 
     # -- lookup --------------------------------------------------------------
 
@@ -319,6 +343,7 @@ class TenantRegistry:
                 self._resident.pop(name, None)
             raise
         self.pushes += 1
+        self.last_ingest_unix = tenant.last_ingest_unix
         hub = _current_telemetry()
         hub.inc("service.push")
         hub.inc(f"service.push[{name}]")
@@ -341,11 +366,15 @@ class TenantRegistry:
 
     def _evict(self, tenant: TenantState) -> None:
         path = self._spill_path(tenant.name)
+        # Counted before the write so the spill document carries the
+        # spill that produced it.
+        tenant.spills += 1
         try:
             write_checkpoint(path, _tenant_fingerprint(tenant.name),
                              tenant.slots, 1,
                              {0: tenant.to_profile_dict()})
         except OSError as error:
+            tenant.spills -= 1
             raise ServiceError(E_SPILL,
                                f"cannot spill tenant {tenant.name!r} "
                                f"to {path!r}: {error}") from error
@@ -365,6 +394,7 @@ class TenantRegistry:
             raise ServiceError(E_SPILL,
                                f"cannot reload tenant {name!r} from "
                                f"{path!r}: {error}") from error
+        tenant.reloads += 1
         self.reloads += 1
         _current_telemetry().event("service.reload", tenant=name,
                                    nodes=tenant.graph.num_nodes,
@@ -382,6 +412,10 @@ class TenantRegistry:
         return count
 
     # -- status --------------------------------------------------------------
+
+    def resident_count(self) -> int:
+        """Tenants currently held in memory."""
+        return len(self._resident)
 
     def count_query(self, tenant: TenantState) -> None:
         tenant.queries += 1

@@ -299,11 +299,25 @@ class VM:
         containment contract and produce identical ``instr_count``,
         output, phase windows, and tracker graphs (with sampling off).
         """
-        if self.exec_mode == EXEC_COMPILED:
-            from .compiled import run_compiled
-            if run_compiled(self):
-                return self
-        return self._run_interp()
+        try:
+            if self.exec_mode == EXEC_COMPILED:
+                from .compiled import run_compiled
+                if run_compiled(self):
+                    return self
+            return self._run_interp()
+        except VMError as error:
+            # Cold path: the error is already escaping.  Stamp the
+            # stream (and the flight-recorder ring tapping it) with
+            # what died where, so a postmortem dump is self-describing.
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                telemetry.event("vm.error",
+                                type=type(error).__name__,
+                                error=str(error),
+                                where=error.where,
+                                instructions=self.instr_count,
+                                phase=self.current_phase)
+            raise
 
     def sampling_stats(self):
         """Sampling meta of the last run (schedule + exact window

@@ -1,0 +1,110 @@
+"""The bench-regression guard (``tools/check_bench_regression.py``)
+compares correctly: a matching record passes, a >tolerance ratio drop
+fails, and a baseline file without the ``quick_baseline`` section is
+an actionable error — all exercised through ``main()`` with
+pre-generated records so no benchmark actually runs."""
+
+import json
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _guard():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import check_bench_regression
+    finally:
+        sys.path.remove(str(TOOLS))
+    return check_bench_regression
+
+
+def _record(compiled=3.0, overhead=4.0, sampled=0.5):
+    """A minimal quick-matrix record with the three guarded ratios."""
+    return {
+        "exec_tiers": {
+            "compiled_vs_interp_untraced": compiled,
+            "tracking_overhead_compiled": overhead,
+        },
+        "sampled_gate": {
+            "tracked_sampled_vs_untraced": sampled,
+        },
+    }
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_identical_record_passes(tmp_path, capsys):
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record()})
+    fresh = _write(tmp_path / "fresh.json", _record())
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 0
+    out = capsys.readouterr().out
+    assert "no bench regression" in out
+    assert "REGRESSED" not in out
+
+
+def test_small_drop_within_tolerance_passes(tmp_path):
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record(compiled=3.0)})
+    # 5% below committed, under the 10% default tolerance.
+    fresh = _write(tmp_path / "fresh.json", _record(compiled=2.85))
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_regression_beyond_tolerance_fails(tmp_path, capsys):
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record(compiled=3.0)})
+    fresh = _write(tmp_path / "fresh.json", _record(compiled=2.0))
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    captured = capsys.readouterr()
+    assert "compiled_vs_interp_untraced" in captured.out
+    assert "REGRESSED" in captured.out
+    assert "dropped more than 10%" in captured.err
+
+
+def test_overhead_regression_uses_inverse_ratio(tmp_path, capsys):
+    # tracking_overhead_compiled is an overhead (lower is better); the
+    # guard inverts it, so a *rise* from 4x to 5x must regress.
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record(overhead=4.0)})
+    fresh = _write(tmp_path / "fresh.json", _record(overhead=5.0))
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "tracked_s16_vs_untraced" in capsys.readouterr().out
+
+
+def test_tolerance_flag_widens_the_gate(tmp_path):
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record(compiled=3.0)})
+    fresh = _write(tmp_path / "fresh.json", _record(compiled=2.0))
+    assert guard.main(["--baseline", baseline, "--fresh", fresh,
+                       "--tolerance", "0.50"]) == 0
+
+
+def test_fresh_record_may_be_wrapped(tmp_path):
+    # --fresh accepts a full BENCH_PR7.json-shaped file too.
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json",
+                      {"quick_baseline": _record()})
+    fresh = _write(tmp_path / "fresh.json",
+                   {"quick_baseline": _record()})
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_missing_baseline_section_is_an_error(tmp_path, capsys):
+    guard = _guard()
+    baseline = _write(tmp_path / "baseline.json", {"full": _record()})
+    fresh = _write(tmp_path / "fresh.json", _record())
+    assert guard.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    err = capsys.readouterr().err
+    assert "quick_baseline" in err
+    assert "bench-json" in err

@@ -1,0 +1,160 @@
+"""The flight recorder (`repro.observability.flightrecorder`): ring
+rotation with pinned `meta` events, atomic dumps with the trailing
+marker, the process-wide install/dump registry, and replayability of
+a dump through the ordinary trace reader."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability import (DEFAULT_CAPACITY, FlightRecorder,
+                                 JsonlSink, RecorderSink, Telemetry,
+                                 current_recorder, dump_current,
+                                 install, load_trace)
+
+
+@pytest.fixture
+def no_recorder():
+    """Isolate the process-wide registry around a test."""
+    previous = install(None)
+    yield
+    install(previous)
+
+
+def _read_lines(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+# -- the ring -----------------------------------------------------------------
+
+
+def test_ring_drops_oldest_beyond_capacity(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "f.jsonl"), capacity=3)
+    for index in range(6):
+        recorder.record({"ev": "sample", "i": index})
+    assert len(recorder) == 3
+    assert recorder.recorded == 6
+    assert recorder.dropped == 3
+    assert [event["i"] for event in recorder._ring] == [3, 4, 5]
+
+
+def test_capacity_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        FlightRecorder(str(tmp_path / "f.jsonl"), capacity=0)
+
+
+def test_default_capacity_is_documented_value(tmp_path):
+    assert FlightRecorder(str(tmp_path / "f.jsonl")).capacity \
+        == DEFAULT_CAPACITY == 4096
+
+
+# -- dumps --------------------------------------------------------------------
+
+
+def test_dump_writes_events_and_marker(tmp_path):
+    path = tmp_path / "f.jsonl"
+    recorder = FlightRecorder(str(path), capacity=8)
+    recorder.record({"ev": "meta", "hub": "h1", "schema": 2})
+    recorder.record({"ev": "span", "hub": "h1", "name": "map"})
+    written = recorder.dump("test")
+    assert written == str(path)
+    lines = _read_lines(path)
+    assert [line["ev"] for line in lines] == ["meta", "span",
+                                              "flight.dump"]
+    marker = lines[-1]
+    assert marker["reason"] == "test"
+    assert marker["recorded"] == 2
+    assert marker["dropped"] == 0
+    assert marker["capacity"] == 8
+    assert marker["events"] == 2
+    assert recorder.dumps == 1
+    assert not path.with_suffix(".jsonl.tmp").exists()
+
+
+def test_rotated_out_meta_is_pinned_and_leads_the_dump(tmp_path):
+    path = tmp_path / "f.jsonl"
+    recorder = FlightRecorder(str(path), capacity=2)
+    recorder.record({"ev": "meta", "hub": "h1", "schema": 2})
+    for index in range(5):                    # rotates the meta out
+        recorder.record({"ev": "sample", "i": index})
+    assert all(event["ev"] != "meta" for event in recorder._ring)
+    lines = _read_lines(recorder.dump("rotation"))
+    assert lines[0] == {"ev": "meta", "hub": "h1", "schema": 2}
+    assert [line.get("i") for line in lines[1:-1]] == [3, 4]
+
+
+def test_meta_still_in_ring_is_not_duplicated(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "f.jsonl"), capacity=8)
+    recorder.record({"ev": "meta", "hub": "h1"})
+    recorder.record({"ev": "span", "hub": "h1"})
+    lines = _read_lines(recorder.dump("dup"))
+    assert sum(line["ev"] == "meta" for line in lines) == 1
+
+
+def test_dump_to_explicit_path_overrides_default(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "default.jsonl"))
+    recorder.record({"ev": "span"})
+    other = tmp_path / "other.jsonl"
+    assert recorder.dump("explicit", str(other)) == str(other)
+    assert other.exists()
+    assert not (tmp_path / "default.jsonl").exists()
+
+
+# -- the process-wide registry ------------------------------------------------
+
+
+def test_install_returns_previous_and_dump_current(tmp_path, no_recorder):
+    assert dump_current("nothing installed") is None
+    recorder = FlightRecorder(str(tmp_path / "f.jsonl"))
+    assert install(recorder) is None
+    assert current_recorder() is recorder
+    recorder.record({"ev": "span"})
+    assert dump_current("installed") == str(tmp_path / "f.jsonl")
+    assert install(None) is recorder
+
+
+def test_dump_current_never_raises(tmp_path, no_recorder):
+    # A postmortem write failure must not mask the original fault.
+    recorder = FlightRecorder(str(tmp_path / "missing" / "f.jsonl"))
+    install(recorder)
+    recorder.record({"ev": "span"})
+    assert dump_current("disk trouble") is None
+
+
+# -- the sink and replay ------------------------------------------------------
+
+
+def test_recorder_sink_tees_to_inner(tmp_path):
+    inner_path = tmp_path / "stream.jsonl"
+    recorder = FlightRecorder(str(tmp_path / "f.jsonl"))
+    sink = RecorderSink(recorder, JsonlSink(str(inner_path)))
+    sink.emit({"ev": "span", "name": "x"})
+    sink.close()
+    assert len(recorder) == 1
+    assert _read_lines(inner_path) == [{"ev": "span", "name": "x"}]
+
+
+def test_recorder_sink_without_inner_writes_no_file(tmp_path):
+    recorder = FlightRecorder(str(tmp_path / "f.jsonl"))
+    sink = RecorderSink(recorder)
+    sink.emit({"ev": "span"})
+    sink.close()
+    assert len(recorder) == 1
+    assert list(tmp_path.iterdir()) == []     # no I/O until a dump
+
+
+def test_dump_replays_through_the_trace_reader(tmp_path):
+    """A dump is a valid schema-v2 stream: `repro trace` loads it."""
+    dump_path = tmp_path / "flight.jsonl"
+    recorder = FlightRecorder(str(dump_path), capacity=64)
+    hub = Telemetry(sink=RecorderSink(recorder))
+    with hub.span("analyze"):
+        hub.event("sample", i=100)
+    hub.close()
+    recorder.dump("replay")
+    trace = load_trace(str(dump_path))
+    assert [span.name for span in trace.spans.values()] == ["analyze"]
+    assert any(event.get("ev") == "flight.dump"
+               for event in trace.events)

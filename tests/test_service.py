@@ -35,6 +35,9 @@ from repro.service import (AnalysisDaemon, DEFAULT_MAX_FRAME, FrameError,
                            TenantRegistry, encode_frame, parse_addr,
                            read_frame_sync, spill_filename)
 from repro.service import protocol
+from repro.observability import (METRICS_SCHEMA, MetricsRegistry,
+                                 NullMetrics, normalize_snapshot,
+                                 stable_json)
 from repro.vm import VM
 
 SOURCE = """
@@ -363,11 +366,12 @@ class TestShardPusher:
 class DaemonHarness:
     """asyncio daemon on a thread + blocking-client readiness probe."""
 
-    def __init__(self, tmp_path, **registry_kwargs):
+    def __init__(self, tmp_path, metrics=None, **registry_kwargs):
         self.registry = TenantRegistry(**registry_kwargs)
         self.addr = str(tmp_path / "svc.sock")
         self.daemon = AnalysisDaemon(self.registry,
-                                     socket_path=self.addr)
+                                     socket_path=self.addr,
+                                     metrics=metrics)
         self.thread = threading.Thread(
             target=lambda: asyncio.run(self.daemon.run()), daemon=True)
 
@@ -554,6 +558,161 @@ class TestDaemon:
 
 
 # ---------------------------------------------------------------------------
+# Live metrics: stats / health queries (docs/SERVICE.md)
+
+
+class CountingNullMetrics(NullMetrics):
+    """A disabled registry that counts calls: the structural guard —
+    the daemon must not merely discard metric updates when disabled,
+    it must never make them."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def inc(self, name, delta=1):
+        self.calls += 1
+
+    def gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, seconds):
+        self.calls += 1
+
+
+class TestStatsHealth:
+    def _load(self, harness):
+        """One deterministic request load over two tenants."""
+        with harness.client() as client:
+            for index in range(2):
+                client.push("app", make_shard(f"a{index}"))
+            client.push("ci", make_shard("b0", SOURCE_B))
+            client.query("app", "summary")
+            return client.stats()["stats"], client.health()["health"]
+
+    def test_stats_reports_tenants_and_latencies(self, tmp_path):
+        with DaemonHarness(tmp_path,
+                           metrics=MetricsRegistry()) as harness:
+            stats, health = self._load(harness)
+        assert stats["schema"] == METRICS_SCHEMA
+        assert stats["daemon"]["metrics_enabled"] is True
+        assert stats["daemon"]["uptime_s"] > 0
+        assert stats["daemon"]["frame_errors"] == 0
+        assert stats["registry"]["resident"] == 2
+        assert stats["registry"]["pushes"] == 3
+        assert stats["registry"]["queries"] == 1
+        tenants = {tenant["tenant"]: tenant
+                   for tenant in stats["tenants"]}
+        assert set(tenants) == {"app", "ci"}
+        assert tenants["app"]["shards"] == 2          # fold count
+        assert tenants["app"]["memory_bytes"] > 0     # CSR accounting
+        assert tenants["app"]["queries"] == 1
+        assert tenants["ci"]["spills"] == 0
+        assert tenants["ci"]["last_ingest_unix"] is not None
+        metrics = stats["metrics"]
+        assert metrics["histograms"]["service.request[push]"]["count"] \
+            == 3
+        assert metrics["histograms"]["service.query[summary]"]["count"] \
+            == 1
+        assert metrics["counters"]["service.requests"] >= 4
+        assert metrics["gauges"]["service.tenants_resident"] == 2
+        # Health: same daemon, one glance.
+        assert health["status"] == "ok"
+        assert health["tenants_resident"] == 2
+        assert health["pushes"] == 3
+        assert health["last_ingest_age_s"] is not None
+
+    def test_identical_loads_snapshot_byte_for_byte(self, tmp_path):
+        """The acceptance bar: two daemons fed the same request load
+        return `stats` documents that are byte-identical after timing
+        normalization."""
+        docs = []
+        for run in ("one", "two"):
+            directory = tmp_path / run
+            directory.mkdir()
+            with DaemonHarness(directory,
+                               metrics=MetricsRegistry()) as harness:
+                stats, _health = self._load(harness)
+                docs.append(stats)
+        first, second = (stable_json(normalize_snapshot(doc))
+                         for doc in docs)
+        assert first == second
+
+    def test_stats_on_disabled_metrics_daemon(self, tmp_path):
+        with DaemonHarness(tmp_path) as harness:       # NULL_METRICS
+            with harness.client() as client:
+                client.push("app", make_shard("a"))
+                stats = client.stats()["stats"]
+                health = client.health()["health"]
+        assert stats["daemon"]["metrics_enabled"] is False
+        assert stats["metrics"] == {"schema": METRICS_SCHEMA,
+                                    "enabled": False}
+        assert stats["tenants"][0]["memory_bytes"] > 0
+        assert health["metrics_enabled"] is False
+        assert health["status"] == "ok"
+
+    def test_disabled_metrics_do_exactly_zero_work(self, tmp_path):
+        """Structural zero-cost guard, mirroring the NullTelemetry
+        test: a counting disabled registry must see zero calls across
+        every request path."""
+        counting = CountingNullMetrics()
+        with DaemonHarness(tmp_path, metrics=counting) as harness:
+            with harness.client() as client:
+                client.push("app", make_shard("a"))
+                client.query("app", "summary")
+                client.status()
+                client.stats()
+                client.health()
+                with pytest.raises(ServiceError):
+                    client.query("ghost", "summary")
+        assert counting.calls == 0
+
+    def test_frame_errors_degrade_health(self, tmp_path):
+        with DaemonHarness(tmp_path,
+                           metrics=MetricsRegistry()) as harness:
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(harness.addr)
+            raw.settimeout(10.0)
+            raw.sendall(b"NOPE" + b"\0" * 40)
+            read_frame_sync(raw)                       # error frame
+            raw.close()
+            with harness.client() as client:
+                health = client.health()["health"]
+                stats = client.stats()["stats"]
+        assert health["status"] == "degraded"
+        assert health["frame_errors"] == 1
+        assert stats["metrics"]["counters"]["service.frame_errors"] == 1
+
+    def test_request_errors_are_counted_by_name(self, tmp_path):
+        with DaemonHarness(tmp_path,
+                           metrics=MetricsRegistry()) as harness:
+            with harness.client() as client:
+                with pytest.raises(ServiceError):
+                    client.query("ghost", "summary")
+                counters = \
+                    client.stats()["stats"]["metrics"]["counters"]
+        assert counters["service.errors"] == 1
+        assert counters["service.errors[E_NO_TENANT]"] == 1
+
+    def test_shutdown_flushes_telemetry_summaries(self, tmp_path):
+        """Satellite contract: the daemon flushes the telemetry hub
+        before its event loop exits, so counter summaries are in the
+        sink without any atexit / hub.close() help."""
+        from repro.observability import MemorySink, Telemetry, use
+        sink = MemorySink()
+        hub = Telemetry(sink=sink)
+        with use(hub):
+            with DaemonHarness(tmp_path) as harness:
+                with harness.client() as client:
+                    client.push("app", make_shard("a"))
+            # __exit__ returned: the daemon thread is done.
+            kinds = [event["ev"] for event in sink.events]
+        assert "counters" in kinds
+        summaries = [event for event in sink.events
+                     if event["ev"] == "counters"]
+        assert summaries[0]["counters"]["service.push"] == 1
+
+
+# ---------------------------------------------------------------------------
 # CLI surface (client subcommand against a live daemon)
 
 
@@ -588,12 +747,61 @@ class TestClientCli:
         from repro.cli import EXIT_BAD_INPUT, EXIT_RUNTIME, main
         dead = str(tmp_path / "nobody-home.sock")
         assert main(["client", "ping", "--addr", dead]) == EXIT_RUNTIME
-        assert "cannot reach daemon" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "cannot reach daemon" in err
+        assert "repro serve" in err          # actionable, single line
+        assert "Traceback" not in err
         with DaemonHarness(tmp_path) as harness:
             assert main(["client", "query", "summary",
                          "--addr", harness.addr,
                          "--tenant", "ghost"]) == EXIT_BAD_INPUT
             assert "daemon refused" in capsys.readouterr().err
+
+    def test_client_bad_addr_is_bad_input(self, capsys):
+        from repro.cli import EXIT_BAD_INPUT, main
+        assert main(["client", "ping",
+                     "--addr", "tcp:nonsense"]) == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert "bad TCP address" in err
+        assert "Traceback" not in err
+
+    def test_client_stats_and_health(self, tmp_path, capsys):
+        from repro.cli import EXIT_DEGRADED, main
+        with DaemonHarness(tmp_path,
+                           metrics=MetricsRegistry()) as harness:
+            addr = harness.addr
+            with harness.client() as client:
+                client.push("app", make_shard("a"))
+                client.push("ci", make_shard("b", SOURCE_B))
+                client.query("app", "summary")
+            # Text rendering: busiest tenants + latency table.
+            assert main(["client", "stats", "--addr", addr]) == 0
+            out = capsys.readouterr().out
+            assert "metrics on" in out
+            assert "app" in out and "ci" in out
+            assert "service.request[push]" in out
+            # JSON rendering: the raw stable-schema document.
+            assert main(["client", "stats", "--addr", addr,
+                         "--format", "json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["schema"] == METRICS_SCHEMA
+            assert {tenant["tenant"] for tenant in doc["tenants"]} \
+                == {"app", "ci"}
+            assert all(tenant["memory_bytes"] > 0
+                       for tenant in doc["tenants"])
+            # Health: ok one-liner, exit 0.
+            assert main(["client", "health", "--addr", addr]) == 0
+            assert capsys.readouterr().out.startswith("ok:")
+            # Degrade it (garbage frame), health now exits 3.
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(addr)
+            raw.settimeout(10.0)
+            raw.sendall(b"NOPE" + b"\0" * 40)
+            read_frame_sync(raw)
+            raw.close()
+            assert main(["client", "health",
+                         "--addr", addr]) == EXIT_DEGRADED
+            assert "degraded" in capsys.readouterr().out
 
     def test_profile_push_streams_sharded_run(self, tmp_path, capsys):
         from repro.cli import main

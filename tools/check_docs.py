@@ -15,6 +15,11 @@ drift from the code:
 3. ``docs/SERVICE.md`` must name every wire message type, query kind,
    and error code that ``repro.service.protocol`` defines (codes by
    symbolic name *and* numeric value).
+4. ``docs/OBSERVABILITY.md`` must state the live-metrics constants it
+   documents — the metrics schema version, every histogram bucket
+   bound of ``LATENCY_BUCKETS``, and the flight recorder's default
+   ring capacity — so the documented numbers cannot drift from
+   ``repro.observability``.
 
 Usage::
 
@@ -140,18 +145,59 @@ def check_service_protocol(missing):
     return checked
 
 
+def _number_pattern(value) -> str:
+    """Regex matching a numeric literal for ``value`` in prose.
+
+    Accepts both spellings of a float (``0.0001`` and ``1e-04`` are
+    not interchanged — docs are expected to use the repr) but keeps
+    integers exact (``4096`` must not match inside ``14096``).
+    """
+    text = repr(value)
+    if text.endswith(".0"):
+        # 1.0 in code may reasonably appear as "1.0" in a table.
+        return rf"\b{re.escape(text)}\b"
+    return rf"(?<![\d.]){re.escape(text)}(?![\d.])"
+
+
+def check_metrics_constants(missing):
+    """OBSERVABILITY.md must quote the live-metrics constants."""
+    from repro.observability import (DEFAULT_CAPACITY, LATENCY_BUCKETS,
+                                     METRICS_SCHEMA)
+    path = REPO / "docs" / "OBSERVABILITY.md"
+    if not path.exists():
+        missing.append("file: docs/OBSERVABILITY.md (metrics "
+                       "documentation)")
+        return 0
+    text = path.read_text()
+    checked = 0
+    for bound in LATENCY_BUCKETS:
+        checked += 1
+        if not re.search(_number_pattern(bound), text):
+            missing.append(f"OBSERVABILITY.md histogram bucket bound: "
+                           f"{bound!r}")
+    for label, value in (("metrics schema version", METRICS_SCHEMA),
+                         ("flight recorder default capacity",
+                          DEFAULT_CAPACITY)):
+        checked += 1
+        if not re.search(_number_pattern(value), text):
+            missing.append(f"OBSERVABILITY.md {label}: {value}")
+    return checked
+
+
 def main() -> int:
     missing = []
     n_sub, n_opt = check_cli(missing)
     n_proto = check_service_protocol(missing)
+    n_metrics = check_metrics_constants(missing)
     if missing:
         print("surface missing from the docs "
               f"({', '.join(DOC_FILES)}):", file=sys.stderr)
         for entry in missing:
             print(f"  {entry}", file=sys.stderr)
         return 1
-    print(f"docs cover {n_sub} subcommands, {n_opt} options, and "
-          f"{n_proto} service protocol names")
+    print(f"docs cover {n_sub} subcommands, {n_opt} options, "
+          f"{n_proto} service protocol names, and {n_metrics} "
+          f"metrics constants")
     return 0
 
 
